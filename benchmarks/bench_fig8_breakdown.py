@@ -1,0 +1,46 @@
+"""Figure 8 — runtime breakdown of the GPU sequences.
+
+Regenerates the per-command share of modeled runtime (b / rw / rf /
+dedup) for GPU rf_resyn and resyn2.  The paper observes that ``b``
+takes a large share (especially in rf_resyn) and that ``b`` and
+``dedup`` grow significant on large-delay benchmarks, due to their
+level-wise parallel nature — both effects are asserted.
+"""
+
+from repro.experiments.tables import run_fig8
+
+
+def test_fig8_breakdown(benchmark, bench_names):
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"names": bench_names}, rounds=1, iterations=1
+    )
+    print()
+    print(result["text"])
+    rf_resyn_rows = [
+        row for row in result["rows"] if row["script"] == "rf_resyn"
+    ]
+    # Balancing occupies a large share of rf_resyn's runtime.
+    mean_b_share = sum(
+        row["shares"].get("b", 0.0) for row in rf_resyn_rows
+    ) / len(rf_resyn_rows)
+    assert mean_b_share > 0.2
+
+
+def test_fig8_deep_aigs_pay_more_for_levelwise_passes(benchmark):
+    """b+dedup share is larger on a deep AIG than on a shallow one."""
+    result = benchmark.pedantic(
+        run_fig8,
+        kwargs={"names": ["div", "mem_ctrl"], "scripts": ("rf_resyn",)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["text"])
+    shares = {
+        row["benchmark"]: row["shares"] for row in result["rows"]
+    }
+    deep = shares["div12"]
+    shallow = shares["mem_ctrl"]
+    deep_levelwise = deep.get("b", 0) + deep.get("dedup", 0)
+    shallow_levelwise = shallow.get("b", 0) + shallow.get("dedup", 0)
+    assert deep_levelwise > shallow_levelwise

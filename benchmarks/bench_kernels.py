@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the core kernels (real wall-clock).
+
+Unlike the exhibit benches, these measure the actual Python runtime of
+the performance-critical substrate operations, for tracking regressions
+with pytest-benchmark's statistics.
+"""
+
+import random
+
+from repro.aig.aig import Aig
+from repro.aig.cuts import reconv_cut
+from repro.benchgen.arith import multiplier
+from repro.cec.simulate import random_patterns, simulate
+from repro.logic.isop import isop
+from repro.logic.resyn import plan_resynthesis
+from repro.parallel.hashtable import HashTable
+
+
+def build_mult():
+    return multiplier(12)
+
+
+def test_bench_strash_construction(benchmark):
+    benchmark(build_mult)
+
+
+def test_bench_simulation_1024_patterns(benchmark):
+    aig = build_mult()
+    patterns = random_patterns(aig.num_pis, 1024)
+    benchmark(simulate, aig, patterns, 1024)
+
+
+def test_bench_reconv_cut(benchmark):
+    aig = build_mult()
+    roots = list(aig.and_vars())[-64:]
+
+    def run():
+        for root in roots:
+            reconv_cut(aig, root, 12)
+
+    benchmark(run)
+
+
+def test_bench_isop_8var(benchmark):
+    rng = random.Random(1)
+    tables = [rng.getrandbits(256) for _ in range(16)]
+
+    def run():
+        for table in tables:
+            isop(table, 8)
+
+    benchmark(run)
+
+
+def test_bench_resynthesis_plan(benchmark):
+    rng = random.Random(2)
+    tables = [rng.getrandbits(64) for _ in range(16)]
+
+    def run():
+        for table in tables:
+            plan_resynthesis(table, 6)
+
+    benchmark(run)
+
+
+def test_bench_hashtable_insert_lookup(benchmark):
+    pairs = [(i * 3 % 1021, i * 7 % 2039) for i in range(2000)]
+
+    def run():
+        table = HashTable(expected=4096)
+        for index, (key0, key1) in enumerate(pairs):
+            table.insert(key0, key1, index)
+        for key0, key1 in pairs:
+            table.lookup(key0, key1)
+
+    benchmark(run)
+
+
+def test_bench_compact(benchmark):
+    aig = build_mult()
+    benchmark(lambda: aig.compact())

@@ -1,0 +1,20 @@
+"""Table I — normalized sequential-part runtimes.
+
+Regenerates the paper's comparison of the host-side (sequential) time
+of GPU rewriting [9], refactoring with [9]-style sequential
+replacement, and the proposed data-race-free parallel replacement.
+Paper values: 1.0 / 1.6 / 0.6 — the reproduction must preserve the
+ordering ``proposed < rw < seq-replace``.
+"""
+
+from repro.experiments.tables import run_table1
+
+
+def test_table1_sequential_part(benchmark, bench_names):
+    result = benchmark.pedantic(
+        run_table1, kwargs={"names": bench_names}, rounds=1, iterations=1
+    )
+    print()
+    print(result["text"])
+    norm = result["normalized"]
+    assert norm["rf_proposed"] < 1.0 < norm["rf_seq_replace"]

@@ -1,0 +1,39 @@
+"""Table II — single optimization passes (GPU vs ABC-style baselines).
+
+Regenerates per-benchmark #nodes / levels / modeled time for balancing
+(GPU b vs ABC balance) and refactoring (GPU rf ×2 vs ABC drf), plus the
+geomean summary row.  Paper headline: 14.8× (b) and 42.7× (rf)
+acceleration at comparable or better quality, with GPU balancing
+producing exactly the baseline's levels (Property 3).
+"""
+
+from repro.experiments.tables import run_table2
+
+
+def test_table2_single_passes(benchmark, bench_names):
+    result = benchmark.pedantic(
+        run_table2, kwargs={"names": bench_names}, rounds=1, iterations=1
+    )
+    print()
+    print(result["text"])
+    summary = result["summary"]
+    # Property 3: balancing levels identical to the baseline.
+    assert summary["b_levels"] == 1.0
+    # Balanced node counts within noise of the baseline.
+    assert 0.97 <= summary["b_nodes"] <= 1.03
+    # Acceleration in the paper's direction on both passes.
+    assert summary["b_accel"] > 1.0
+    assert summary["rf_accel"] > 1.0
+
+
+def test_table2_zero_gain_footnote(benchmark, bench_names):
+    """The drf -z comparison (Section V-B a): GPU rf vs zero-gain ABC."""
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs={"names": bench_names, "zero_gain": True},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["text"])
+    assert result["summary"]["rf_accel"] > 1.0

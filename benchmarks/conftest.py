@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` file regenerates one exhibit of the paper (table or
+figure) on a reduced benchmark subset sized for CI; pass
+``--bench-full`` to run the full named suite as the EXPERIMENTS.md
+numbers were produced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.suite import SUITE_ORDER
+from repro.experiments.tables import QUICK_NAMES
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-full",
+        action="store_true",
+        default=False,
+        help="run exhibits on the full named suite instead of the "
+        "quick subset",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_names(request) -> list[str]:
+    if request.config.getoption("--bench-full"):
+        return list(SUITE_ORDER)
+    return list(QUICK_NAMES)

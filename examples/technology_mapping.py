@@ -1,0 +1,58 @@
+"""Domain scenario: why fast resyn2 matters — technology mapping.
+
+The paper's introduction motivates accelerating resyn2 by its role in
+*structural choice computation* for technology mapping [7]: the
+optimized snapshot is combined with the original, and the mapper picks
+the best structure per region.  This example runs that exact flow:
+
+1. map the original AIG into 6-LUTs;
+2. optimize with GPU resyn2, map the optimized snapshot;
+3. combine both snapshots, compute SAT-verified choices, map with
+   choices — typically matching or beating the best single snapshot.
+
+Run:  python examples/technology_mapping.py
+"""
+
+from repro.algorithms import run_sequence
+from repro.benchgen import divider
+from repro.experiments import format_table
+from repro.mapping import lut_map, map_with_choices, verify_mapping
+
+
+def main() -> None:
+    aig = divider(8)
+    print(f"circuit: {aig.name}, {aig.num_ands} AND nodes")
+
+    baseline = lut_map(aig, k=6)
+    optimized = run_sequence(aig, "resyn2", engine="gpu").aig
+    optimized_map = lut_map(optimized, k=6)
+    choice_map, union = map_with_choices([optimized, aig], k=6)
+
+    assert verify_mapping(aig, baseline)
+    assert verify_mapping(optimized, optimized_map)
+    assert verify_mapping(union, choice_map)
+
+    rows = [
+        ["original AIG", aig.num_ands, *_cells(baseline)],
+        ["after GPU resyn2", optimized.num_ands, *_cells(optimized_map)],
+        ["with choices", union.num_ands, *_cells(choice_map)],
+    ]
+    print(
+        format_table(
+            ["Mapping input", "#AND", "#LUT", "depth", "edges"], rows
+        )
+    )
+    print(
+        "\nresyn2 shrinks the mapped netlist; choices let the mapper mix "
+        "both structures\n(all three mappings verified equivalent by "
+        "simulation)."
+    )
+
+
+def _cells(network) -> list[int]:
+    stats = network.stats()
+    return [stats["luts"], stats["depth"], stats["edges"]]
+
+
+if __name__ == "__main__":
+    main()

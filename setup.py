@@ -1,0 +1,10 @@
+"""Setuptools shim so legacy editable installs work offline.
+
+The environment has no ``wheel`` package, so PEP 517 editable installs
+(``pip install -e .``) cannot build; ``python setup.py develop`` (or a
+``.pth`` file pointing at ``src/``) provides the same editable layout.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,407 @@
+"""The And-Inverter Graph data structure.
+
+The AIG is stored struct-of-arrays style, mirroring the flat GPU layout
+the paper uses: two parallel fanin arrays indexed by variable id, a PI
+id list and a PO literal list.  Variable 0 is the constant-false node;
+ids are assigned in creation order, and because an AND node can only
+reference already-existing variables, **id order is always a valid
+topological order** — every traversal in the library relies on this.
+
+Nodes are append-only.  Optimization passes that delete logic mark
+variables *dead* and finish with :meth:`Aig.compact`, which rebuilds the
+graph following the POs (optionally through a literal redirection map,
+which is how cone replacement is expressed).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.aig.literals import (
+    CONST0,
+    lit_compl,
+    lit_not_cond,
+    lit_pair_key,
+    lit_var,
+    make_lit,
+)
+
+#: Sentinel fanin value marking a primary-input row.
+PI_FANIN = -1
+
+#: Sentinel fanin value marking the constant node row.
+CONST_FANIN = -2
+
+
+class Aig:
+    """A combinational And-Inverter Graph.
+
+    Parameters
+    ----------
+    name:
+        Optional design name, carried through I/O and optimization.
+    """
+
+    def __init__(self, name: str = "aig") -> None:
+        self.name = name
+        # Variable 0 is the constant-false node.
+        self._fanin0: list[int] = [CONST_FANIN]
+        self._fanin1: list[int] = [CONST_FANIN]
+        self._dead: list[bool] = [False]
+        self._pis: list[int] = []
+        self._pos: list[int] = []
+        self._po_names: list[str | None] = []
+        self._pi_names: list[str | None] = []
+        self._strash: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_pi(self, name: str | None = None) -> int:
+        """Create a primary input; returns its (non-complemented) literal."""
+        var = len(self._fanin0)
+        self._fanin0.append(PI_FANIN)
+        self._fanin1.append(PI_FANIN)
+        self._dead.append(False)
+        self._pis.append(var)
+        self._pi_names.append(name)
+        return make_lit(var)
+
+    def add_po(self, lit: int, name: str | None = None) -> int:
+        """Register ``lit`` as a primary output; returns the PO index."""
+        self._check_lit(lit)
+        self._pos.append(lit)
+        self._po_names.append(name)
+        return len(self._pos) - 1
+
+    def set_po(self, index: int, lit: int) -> None:
+        """Redirect an existing primary output to a new literal."""
+        self._check_lit(lit)
+        self._pos[index] = lit
+
+    def add_and(self, lit0: int, lit1: int) -> int:
+        """Create (or reuse) the AND of two literals; returns its literal.
+
+        Applies constant folding and the trivial identities
+        ``x & x = x`` and ``x & !x = 0``, then structural hashing: a
+        structurally identical AND is returned instead of a new node.
+        """
+        self._check_lit(lit0)
+        self._check_lit(lit1)
+        f0, f1 = lit_pair_key(lit0, lit1)
+        if f0 == CONST0:
+            return CONST0
+        if f0 == 1:  # const-true fanin: AND reduces to the other literal
+            return f1
+        if f0 == f1:
+            return f0
+        if f0 == (f1 ^ 1):
+            return CONST0
+        key = (f0, f1)
+        existing = self._strash.get(key)
+        if existing is not None and not self._dead[existing]:
+            return make_lit(existing)
+        var = len(self._fanin0)
+        self._fanin0.append(f0)
+        self._fanin1.append(f1)
+        self._dead.append(False)
+        self._strash[key] = var
+        return make_lit(var)
+
+    def add_raw_and(self, lit0: int, lit1: int) -> int:
+        """Create an AND node bypassing folding and structural hashing.
+
+        Used by passes that manage sharing themselves (e.g. the parallel
+        hash table) and by tests that need to build duplicate or
+        degenerate structures on purpose.
+        """
+        self._check_lit(lit0)
+        self._check_lit(lit1)
+        f0, f1 = lit_pair_key(lit0, lit1)
+        var = len(self._fanin0)
+        self._fanin0.append(f0)
+        self._fanin1.append(f1)
+        self._dead.append(False)
+        return make_lit(var)
+
+    def find_and(self, lit0: int, lit1: int) -> int | None:
+        """Literal of an existing AND with these fanins, or None."""
+        key = lit_pair_key(lit0, lit1)
+        var = self._strash.get(key)
+        if var is None or self._dead[var]:
+            return None
+        return make_lit(var)
+
+    # ------------------------------------------------------------------
+    # Node accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Total number of variable ids ever created (including dead)."""
+        return len(self._fanin0)
+
+    @property
+    def num_pis(self) -> int:
+        """Number of primary inputs."""
+        return len(self._pis)
+
+    @property
+    def num_pos(self) -> int:
+        """Number of primary outputs."""
+        return len(self._pos)
+
+    @property
+    def num_ands(self) -> int:
+        """Number of *live* AND nodes (the paper's "#Nodes" metric)."""
+        return sum(
+            1
+            for var in range(self.num_vars)
+            if self._fanin0[var] >= 0 and not self._dead[var]
+        )
+
+    @property
+    def pis(self) -> list[int]:
+        """Variable ids of the primary inputs, in creation order."""
+        return list(self._pis)
+
+    @property
+    def pos(self) -> list[int]:
+        """Primary output literals, in creation order."""
+        return list(self._pos)
+
+    def pi_name(self, index: int) -> str | None:
+        """Symbol-table name of PI ``index`` (None when unnamed)."""
+        return self._pi_names[index]
+
+    def po_name(self, index: int) -> str | None:
+        """Symbol-table name of PO ``index`` (None when unnamed)."""
+        return self._po_names[index]
+
+    def is_const(self, var: int) -> bool:
+        """True for the constant-false variable (id 0)."""
+        return var == 0
+
+    def is_pi(self, var: int) -> bool:
+        """True when ``var`` is a primary input."""
+        return self._fanin0[var] == PI_FANIN
+
+    def is_and(self, var: int) -> bool:
+        """True when ``var`` is an AND node (live or dead)."""
+        return self._fanin0[var] >= 0
+
+    def is_dead(self, var: int) -> bool:
+        """True when ``var`` was deleted by :meth:`mark_dead`."""
+        return self._dead[var]
+
+    def fanin0(self, var: int) -> int:
+        """First (smaller) fanin literal of an AND variable."""
+        lit = self._fanin0[var]
+        if lit < 0:
+            raise ValueError(f"variable {var} is not an AND node")
+        return lit
+
+    def fanin1(self, var: int) -> int:
+        """Second (larger) fanin literal of an AND variable."""
+        lit = self._fanin1[var]
+        if lit < 0:
+            raise ValueError(f"variable {var} is not an AND node")
+        return lit
+
+    def fanins(self, var: int) -> tuple[int, int]:
+        """Both fanin literals of an AND variable."""
+        return self.fanin0(var), self.fanin1(var)
+
+    def and_vars(self) -> Iterator[int]:
+        """Live AND variable ids in topological (= id) order."""
+        for var in range(self.num_vars):
+            if self._fanin0[var] >= 0 and not self._dead[var]:
+                yield var
+
+    def all_and_vars(self) -> Iterator[int]:
+        """All AND variable ids, live or dead, in id order."""
+        for var in range(self.num_vars):
+            if self._fanin0[var] >= 0:
+                yield var
+
+    # ------------------------------------------------------------------
+    # Deletion and compaction
+    # ------------------------------------------------------------------
+
+    def mark_dead(self, var: int) -> None:
+        """Mark an AND variable as deleted.
+
+        Dead nodes are skipped by :meth:`and_vars` and dropped by
+        :meth:`compact`; their strash entry is released so an equivalent
+        node may be re-created.
+        """
+        if not self.is_and(var):
+            raise ValueError(f"only AND nodes can be deleted, not var {var}")
+        if self._dead[var]:
+            return
+        self._dead[var] = True
+        key = lit_pair_key(self._fanin0[var], self._fanin1[var])
+        if self._strash.get(key) == var:
+            del self._strash[key]
+
+    def truncate(self, num_vars: int) -> None:
+        """Physically remove all variables with id >= ``num_vars``.
+
+        Only safe for speculatively created nodes that nothing (no PO,
+        no surviving node) references yet — the rejection path of
+        evaluate-then-commit replacement.  Strash entries are released.
+        """
+        if num_vars < 1 + self.num_pis:
+            raise ValueError("cannot truncate the constant or PI rows")
+        for var in range(num_vars, len(self._fanin0)):
+            if self._fanin0[var] >= 0:
+                key = (self._fanin0[var], self._fanin1[var])
+                if self._strash.get(key) == var:
+                    del self._strash[key]
+            if self._fanin0[var] == PI_FANIN:
+                raise ValueError("cannot truncate primary inputs")
+        del self._fanin0[num_vars:]
+        del self._fanin1[num_vars:]
+        del self._dead[num_vars:]
+
+    def revive(self, var: int) -> None:
+        """Undo :meth:`mark_dead` (used by speculative replacement)."""
+        if not self._dead[var]:
+            return
+        self._dead[var] = False
+        key = lit_pair_key(self._fanin0[var], self._fanin1[var])
+        self._strash.setdefault(key, var)
+
+    def compact(
+        self, resolve: dict[int, int] | None = None
+    ) -> tuple["Aig", dict[int, int]]:
+        """Rebuild the AIG keeping only logic reachable from the POs.
+
+        Parameters
+        ----------
+        resolve:
+            Optional redirection map from variable id to replacement
+            *literal* (in this AIG).  Whenever a redirected variable is
+            encountered — as a PO driver or as a fanin — the replacement
+            literal is followed instead (chains are allowed).  This is
+            how cone replacement is applied.
+
+        Returns
+        -------
+        (new_aig, var_map):
+            The compacted AIG and a map from old live variable id to new
+            literal.
+        """
+        resolve = resolve or {}
+        new = Aig(self.name)
+        var_map: dict[int, int] = {0: CONST0}
+        for index, var in enumerate(self._pis):
+            var_map[var] = new.add_pi(self._pi_names[index])
+
+        def resolve_lit(lit: int) -> int:
+            """Follow redirection chains, composing complements."""
+            seen = 0
+            while True:
+                var = lit_var(lit)
+                target = resolve.get(var)
+                if target is None:
+                    return lit
+                lit = lit_not_cond(target, lit_compl(lit))
+                seen += 1
+                if seen > self.num_vars:
+                    raise ValueError("cycle in resolve map")
+
+        def build(lit: int) -> int:
+            lit = resolve_lit(lit)
+            root = lit_var(lit)
+            if root in var_map:
+                return lit_not_cond(var_map[root], lit_compl(lit))
+            # Iterative post-order DFS (recursion would overflow on
+            # deep arithmetic AIGs such as dividers).
+            stack = [root]
+            while stack:
+                var = stack[-1]
+                if var in var_map:
+                    stack.pop()
+                    continue
+                if not self.is_and(var):
+                    raise ValueError(
+                        f"reached non-AND unmapped variable {var}"
+                    )
+                pending = []
+                for fanin in self.fanins(var):
+                    fvar = lit_var(resolve_lit(fanin))
+                    if fvar not in var_map:
+                        pending.append(fvar)
+                if pending:
+                    stack.extend(pending)
+                    continue
+                stack.pop()
+                f0 = resolve_lit(self.fanin0(var))
+                f1 = resolve_lit(self.fanin1(var))
+                n0 = lit_not_cond(var_map[lit_var(f0)], lit_compl(f0))
+                n1 = lit_not_cond(var_map[lit_var(f1)], lit_compl(f1))
+                var_map[var] = new.add_and(n0, n1)
+            return lit_not_cond(var_map[root], lit_compl(lit))
+
+        for index, po_lit in enumerate(self._pos):
+            new.add_po(build(po_lit), self._po_names[index])
+        return new, var_map
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "Aig":
+        """Deep copy of this AIG."""
+        new = Aig(self.name)
+        new._fanin0 = list(self._fanin0)
+        new._fanin1 = list(self._fanin1)
+        new._dead = list(self._dead)
+        new._pis = list(self._pis)
+        new._pos = list(self._pos)
+        new._pi_names = list(self._pi_names)
+        new._po_names = list(self._po_names)
+        new._strash = dict(self._strash)
+        return new
+
+    def stats(self) -> dict[str, int]:
+        """Summary statistics: PIs, POs, AND count and level."""
+        from repro.aig.traversal import aig_levels
+
+        levels = aig_levels(self)
+        depth = 0
+        for lit in self._pos:
+            depth = max(depth, levels[lit_var(lit)])
+        return {
+            "pis": self.num_pis,
+            "pos": self.num_pos,
+            "ands": self.num_ands,
+            "levels": depth,
+        }
+
+    def _check_lit(self, lit: int) -> None:
+        if lit < 0 or lit_var(lit) >= self.num_vars:
+            raise ValueError(f"literal {lit} references an unknown variable")
+
+    def __repr__(self) -> str:
+        return (
+            f"Aig(name={self.name!r}, pis={self.num_pis}, "
+            f"pos={self.num_pos}, ands={self.num_ands})"
+        )
+
+
+def aig_from_pos(
+    source: Aig, po_lits: Iterable[int], name: str | None = None
+) -> Aig:
+    """Extract the cone of the given PO literals into a fresh AIG."""
+    scratch = source.clone()
+    scratch._pos = []
+    scratch._po_names = []
+    for lit in po_lits:
+        scratch.add_po(lit)
+    new, _ = scratch.compact()
+    if name is not None:
+        new.name = name
+    return new

@@ -1,0 +1,159 @@
+"""Cut computation for AIG nodes.
+
+Two kinds of cuts are needed by the resynthesis passes:
+
+* :func:`reconv_cut` — a single large reconvergence-driven cut per node,
+  grown best-first so that each expansion increases the cut size as
+  little as possible.  This is the cut refactoring resynthesizes
+  (paper, Section II-B/III-B); with an ``expandable`` predicate it also
+  implements the fanout-free traversal of the parallel collapse stage.
+* :func:`enumerate_cuts` — bottom-up k-feasible cut enumeration with a
+  per-node priority limit, as used by rewriting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_var
+
+
+class CutResult:
+    """Result of a reconvergence-driven cut computation.
+
+    Attributes
+    ----------
+    root:
+        The root variable the cut belongs to.
+    leaves:
+        The cut: variable ids any PI-to-root path must cross.
+    cone:
+        AND variables of the associated logic cone (root included,
+        leaves excluded).
+    work:
+        Number of candidate evaluations performed — the unit-work figure
+        reported to the parallel machine's cost model.
+    """
+
+    __slots__ = ("root", "leaves", "cone", "work")
+
+    def __init__(
+        self, root: int, leaves: set[int], cone: set[int], work: int
+    ) -> None:
+        self.root = root
+        self.leaves = leaves
+        self.cone = cone
+        self.work = work
+
+    def __repr__(self) -> str:
+        return (
+            f"CutResult(root={self.root}, leaves={sorted(self.leaves)}, "
+            f"cone_size={len(self.cone)})"
+        )
+
+
+def reconv_cut(
+    aig: Aig,
+    root: int,
+    max_cut_size: int,
+    expandable: Callable[[int, set[int]], bool] | None = None,
+) -> CutResult:
+    """Grow a reconvergence-driven cut of ``root`` best-first.
+
+    Starting from the fanins of ``root``, repeatedly replace the leaf
+    whose expansion adds the fewest new leaves (the greedy rule of the
+    paper's intra-cone traversal) until no leaf can be expanded without
+    exceeding ``max_cut_size``.
+
+    Parameters
+    ----------
+    expandable:
+        Optional extra admission predicate ``f(var, cone) -> bool``.
+        The parallel collapse stage passes the fanout-free condition
+        here (all fanouts of ``var`` already inside ``cone``); without
+        it the plain reconvergence-driven cut of sequential refactoring
+        is produced.
+    """
+    if max_cut_size < 2:
+        raise ValueError("max_cut_size must be at least 2")
+    cone: set[int] = {root}
+    leaves: set[int] = set()
+    for fanin in aig.fanins(root):
+        leaves.add(lit_var(fanin))
+    work = 0
+    while True:
+        best_var = -1
+        best_cost = 3  # any real expansion costs at most +1
+        for var in leaves:
+            if not aig.is_and(var):
+                continue
+            if expandable is not None and not expandable(var, cone):
+                continue
+            work += 1
+            cost = -1
+            for fanin in aig.fanins(var):
+                fvar = lit_var(fanin)
+                if fvar not in leaves and fvar not in cone:
+                    cost += 1
+            if cost < best_cost or (cost == best_cost and var < best_var):
+                best_var = var
+                best_cost = cost
+        if best_var < 0 or len(leaves) + best_cost > max_cut_size:
+            break
+        leaves.discard(best_var)
+        cone.add(best_var)
+        for fanin in aig.fanins(best_var):
+            fvar = lit_var(fanin)
+            if fvar not in cone:
+                leaves.add(fvar)
+    return CutResult(root, leaves, cone, work + len(cone))
+
+
+def enumerate_cuts(
+    aig: Aig,
+    k: int = 4,
+    max_cuts_per_node: int = 8,
+) -> dict[int, list[tuple[int, ...]]]:
+    """Enumerate k-feasible cuts for every live AND node.
+
+    Each node's cut set contains its trivial cut ``(node,)`` plus up to
+    ``max_cuts_per_node`` merged cuts, kept smallest-first (a simple
+    priority heuristic: smaller cuts subsume larger overlapping work in
+    rewriting).  PIs and the constant have only the trivial cut.
+
+    Returns a map from variable id to a list of sorted leaf tuples.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    cuts: dict[int, list[tuple[int, ...]]] = {0: [(0,)]}
+    for var in aig.pis:
+        cuts[var] = [(var,)]
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        set0 = cuts.get(lit_var(f0), [(lit_var(f0),)])
+        set1 = cuts.get(lit_var(f1), [(lit_var(f1),)])
+        merged: set[tuple[int, ...]] = set()
+        for cut0 in set0:
+            for cut1 in set1:
+                union = set(cut0) | set(cut1)
+                if len(union) <= k:
+                    merged.add(tuple(sorted(union)))
+        ordered = sorted(merged, key=lambda cut: (len(cut), cut))
+        ordered = _filter_dominated(ordered)
+        node_cuts = [(var,)] + ordered[:max_cuts_per_node]
+        cuts[var] = node_cuts
+    return cuts
+
+
+def _filter_dominated(cuts: list[tuple[int, ...]]) -> list[tuple[int, ...]]:
+    """Drop cuts that are supersets of another cut in the list."""
+    kept: list[tuple[int, ...]] = []
+    kept_sets: list[set[int]] = []
+    for cut in cuts:
+        cut_set = set(cut)
+        if any(other <= cut_set for other in kept_sets):
+            continue
+        kept.append(cut)
+        kept_sets.append(cut_set)
+    return kept

@@ -1,0 +1,147 @@
+"""Topological traversal, level and fanout computation for AIGs.
+
+All functions work on live nodes only and exploit the id-order-is-
+topological invariant of :class:`repro.aig.aig.Aig`, so every pass here
+is a single linear scan — the same access pattern the paper's flat GPU
+arrays are designed for.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_var
+
+
+def aig_levels(aig: Aig) -> list[int]:
+    """Level (arrival time) of every variable.
+
+    The level of a PI or constant is 0; the level of an AND node is one
+    plus the maximum fanin level — the paper's "delay of a node".
+    Dead nodes get level 0.
+    """
+    levels = [0] * aig.num_vars
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        l0 = levels[lit_var(f0)]
+        l1 = levels[lit_var(f1)]
+        levels[var] = (l0 if l0 >= l1 else l1) + 1
+    return levels
+
+
+def aig_depth(aig: Aig) -> int:
+    """The delay/level of the AIG: maximum PO driver level."""
+    levels = aig_levels(aig)
+    depth = 0
+    for lit in aig.pos:
+        level = levels[lit_var(lit)]
+        if level > depth:
+            depth = level
+    return depth
+
+
+def fanout_counts(aig: Aig) -> list[int]:
+    """Number of fanout edges of every variable (POs included).
+
+    A node feeding both fanins of one AND counts twice, matching ABC's
+    reference counting; this is the count MFFC dereferencing relies on.
+    """
+    counts = [0] * aig.num_vars
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        counts[lit_var(f0)] += 1
+        counts[lit_var(f1)] += 1
+    for lit in aig.pos:
+        counts[lit_var(lit)] += 1
+    return counts
+
+
+def fanout_lists(aig: Aig) -> list[list[int]]:
+    """Fanout adjacency: for each variable, the AND variables reading it.
+
+    PO fanouts are not included (use :func:`po_fanout_mask` for those).
+    A double edge (same node in both fanins) appears once.
+    """
+    fanouts: list[list[int]] = [[] for _ in range(aig.num_vars)]
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        v0, v1 = lit_var(f0), lit_var(f1)
+        fanouts[v0].append(var)
+        if v1 != v0:
+            fanouts[v1].append(var)
+    return fanouts
+
+
+def po_fanout_mask(aig: Aig) -> list[bool]:
+    """True for every variable directly driving at least one PO."""
+    mask = [False] * aig.num_vars
+    for lit in aig.pos:
+        mask[lit_var(lit)] = True
+    return mask
+
+
+def topological_order(aig: Aig) -> list[int]:
+    """Live AND variables in topological order (fanins first)."""
+    return list(aig.and_vars())
+
+
+def reverse_topological_order(aig: Aig) -> list[int]:
+    """Live AND variables in reverse topological order (fanouts first)."""
+    order = list(aig.and_vars())
+    order.reverse()
+    return order
+
+
+def transitive_fanin(aig: Aig, roots: list[int]) -> set[int]:
+    """All variables in the transitive fanin of ``roots`` (inclusive)."""
+    seen: set[int] = set()
+    stack = list(roots)
+    while stack:
+        var = stack.pop()
+        if var in seen:
+            continue
+        seen.add(var)
+        if aig.is_and(var):
+            f0, f1 = aig.fanins(var)
+            stack.append(lit_var(f0))
+            stack.append(lit_var(f1))
+    return seen
+
+
+def transitive_fanout(aig: Aig, roots: list[int]) -> set[int]:
+    """All variables in the transitive fanout of ``roots`` (inclusive)."""
+    in_tfo = [False] * aig.num_vars
+    root_set = set(roots)
+    for var in root_set:
+        in_tfo[var] = True
+    for var in aig.and_vars():
+        if in_tfo[var]:
+            continue
+        f0, f1 = aig.fanins(var)
+        if in_tfo[lit_var(f0)] or in_tfo[lit_var(f1)]:
+            in_tfo[var] = True
+    return {var for var, flag in enumerate(in_tfo) if flag}
+
+
+def cone_nodes(aig: Aig, root: int, cut: set[int]) -> set[int]:
+    """AND variables of the logic cone of ``root`` w.r.t. ``cut``.
+
+    The cone includes ``root`` and every node on a path from a cut node
+    to ``root``; the cut nodes themselves are *not* part of the cone
+    (they are its inputs), matching the paper's Definition of a logic
+    cone associated with a cut.
+    """
+    cone: set[int] = set()
+    stack = [root]
+    while stack:
+        var = stack.pop()
+        if var in cone or var in cut:
+            continue
+        if not aig.is_and(var):
+            raise ValueError(
+                f"cut {sorted(cut)} does not cover PI/const var {var}"
+            )
+        cone.add(var)
+        f0, f1 = aig.fanins(var)
+        stack.append(lit_var(f0))
+        stack.append(lit_var(f1))
+    return cone

@@ -1,0 +1,75 @@
+"""Structural invariant checking for AIGs.
+
+Optimization passes are required to hand back structurally sound AIGs;
+the test suite runs :func:`check_aig` after every pass.  Violations
+raise :class:`AigInvariantError` with a description of the first
+problem found.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_pair_key, lit_var
+
+
+class AigInvariantError(AssertionError):
+    """Raised when an AIG violates a structural invariant."""
+
+
+def check_aig(aig: Aig, strict_strash: bool = True) -> None:
+    """Verify structural invariants of ``aig``.
+
+    Checked invariants:
+
+    * every fanin literal references an existing, smaller variable id
+      (acyclicity via the id-order-is-topological rule);
+    * fanins of live AND nodes are live;
+    * fanin pairs are stored in canonical (sorted) order;
+    * no live AND node has constant or trivially reducible fanins when
+      ``strict_strash`` is set;
+    * no two live AND nodes share the same fanin pair when
+      ``strict_strash`` is set (structural-hashing uniqueness);
+    * every PO literal references a live variable.
+    """
+    seen_pairs: dict[tuple[int, int], int] = {}
+    for var in aig.all_and_vars():
+        f0, f1 = aig.fanins(var)
+        for fanin in (f0, f1):
+            fvar = lit_var(fanin)
+            if fvar >= var:
+                raise AigInvariantError(
+                    f"node {var} has non-topological fanin var {fvar}"
+                )
+        if (f0, f1) != lit_pair_key(f0, f1):
+            raise AigInvariantError(
+                f"node {var} fanins ({f0}, {f1}) not in canonical order"
+            )
+        if aig.is_dead(var):
+            continue
+        for fanin in (f0, f1):
+            fvar = lit_var(fanin)
+            if aig.is_and(fvar) and aig.is_dead(fvar):
+                raise AigInvariantError(
+                    f"live node {var} has dead fanin var {fvar}"
+                )
+        if strict_strash:
+            if f0 <= 1:
+                raise AigInvariantError(
+                    f"live node {var} has constant fanin {f0}"
+                )
+            if f0 == f1 or f0 == (f1 ^ 1):
+                raise AigInvariantError(
+                    f"live node {var} is trivially reducible ({f0}, {f1})"
+                )
+            prior = seen_pairs.get((f0, f1))
+            if prior is not None:
+                raise AigInvariantError(
+                    f"live nodes {prior} and {var} are structural duplicates"
+                )
+            seen_pairs[(f0, f1)] = var
+    for index, lit in enumerate(aig.pos):
+        var = lit_var(lit)
+        if var >= aig.num_vars:
+            raise AigInvariantError(f"PO {index} references unknown var {var}")
+        if aig.is_and(var) and aig.is_dead(var):
+            raise AigInvariantError(f"PO {index} references dead var {var}")

@@ -1,0 +1,122 @@
+"""Shared infrastructure for the optimization passes.
+
+The in-place passes (refactoring, rewriting) never patch fanin arrays;
+they express every cone replacement as an *alias*: the old root
+variable redirects to a replacement literal.  :class:`AliasView` makes
+an AIG-plus-aliases readable through the ordinary ``fanins``/``is_and``
+protocol, so cut computation, truth-table simulation and MFFC
+dereferencing all run unchanged on the partially rewritten graph.  The
+final :meth:`repro.aig.aig.Aig.compact` call resolves all aliases into
+a fresh, dense AIG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_compl, lit_not_cond, lit_var
+
+
+class AliasView:
+    """Read-only view of an AIG through an alias (redirection) map."""
+
+    __slots__ = ("aig", "alias", "dead")
+
+    def __init__(self, aig: Aig) -> None:
+        self.aig = aig
+        self.alias: dict[int, int] = {}
+        self.dead: set[int] = set()
+
+    def resolve(self, lit: int) -> int:
+        """Follow alias chains, composing complement flags."""
+        alias = self.alias
+        while True:
+            target = alias.get(lit >> 1)
+            if target is None:
+                return lit
+            lit = lit_not_cond(target, lit_compl(lit))
+
+    def is_and(self, var: int) -> bool:
+        """True when ``var`` is a live (not killed) AND node."""
+        return self.aig.is_and(var) and var not in self.dead
+
+    def is_pi(self, var: int) -> bool:
+        """True when ``var`` is a primary input."""
+        return self.aig.is_pi(var)
+
+    def fanins(self, var: int) -> tuple[int, int]:
+        """Alias-resolved fanin literals of a live AND variable."""
+        f0, f1 = self.aig.fanins(var)
+        return self.resolve(f0), self.resolve(f1)
+
+    def resolved_pos(self) -> list[int]:
+        """Primary output literals after alias resolution."""
+        return [self.resolve(lit) for lit in self.aig.pos]
+
+    def set_alias(self, var: int, lit: int) -> None:
+        """Redirect ``var`` to ``lit`` (resolved; self-loops rejected)."""
+        resolved = self.resolve(lit)
+        if (resolved >> 1) == var:
+            raise ValueError(f"alias of var {var} resolves to itself")
+        self.alias[var] = resolved
+
+    def kill(self, var: int) -> None:
+        """Mark a variable dead in the view and in the AIG's strash."""
+        self.dead.add(var)
+        self.aig.mark_dead(var)
+
+    def revive(self, var: int) -> None:
+        """Undo :meth:`kill` for a speculatively deleted variable."""
+        self.dead.discard(var)
+        self.aig.revive(var)
+
+
+def resolved_fanout_counts(view: AliasView) -> list[int]:
+    """Reference counts over the alias-resolved live structure."""
+    aig = view.aig
+    counts = [0] * aig.num_vars
+    for var in aig.and_vars():
+        if var in view.dead or var in view.alias:
+            continue
+        f0, f1 = view.fanins(var)
+        counts[lit_var(f0)] += 1
+        counts[lit_var(f1)] += 1
+    for lit in view.resolved_pos():
+        counts[lit_var(lit)] += 1
+    return counts
+
+
+@dataclass
+class PassResult:
+    """Outcome of one optimization pass.
+
+    Attributes
+    ----------
+    aig:
+        The optimized (compacted) AIG.
+    nodes_before / nodes_after:
+        Live AND counts on entry and exit.
+    levels_before / levels_after:
+        AIG depth on entry and exit.
+    details:
+        Pass-specific counters (cones processed, replacements, ...).
+    """
+
+    aig: Aig
+    nodes_before: int
+    nodes_after: int
+    levels_before: int
+    levels_after: int
+    details: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def gain(self) -> int:
+        """Net AND nodes removed by the pass."""
+        return self.nodes_before - self.nodes_after
+
+    def __repr__(self) -> str:
+        return (
+            f"PassResult(nodes {self.nodes_before}->{self.nodes_after}, "
+            f"levels {self.levels_before}->{self.levels_after})"
+        )

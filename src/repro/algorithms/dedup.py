@@ -1,0 +1,182 @@
+"""De-duplication and dangling-node removal (paper, Section III-F).
+
+After parallel replacement (refactoring or rewriting), the AIG may
+contain structural duplicates — when a resynthesized cone's new root
+already existed, the fanouts of old and new root can become pairwise
+identical (Figure 4) — and dangling nodes, when a cone function does
+not depend on all of its cut inputs.
+
+De-duplication processes nodes **level-wise from PIs to POs**: each
+node's alias-resolved fanin pair is inserted into the parallel hash
+table; a loser (same key, later node) is redirected to the resident
+winner.  Level order matters because merging two nodes can create new
+duplicates among their fanouts, which sit at higher levels.  Dangling
+removal then assigns one thread per zero-fanout node to retire its
+MFFC.  Both stages are metered as parallel kernels under the ``dedup``
+tag, which Figure 8 reports separately from ``rw``/``rf``.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_compl, lit_not_cond, lit_pair_key, lit_var
+from repro.parallel.hashtable import HashTable
+from repro.parallel.machine import ParallelMachine
+
+
+def dedup_and_dangling(
+    aig: Aig,
+    alias: dict[int, int],
+    machine: ParallelMachine | None = None,
+) -> Aig:
+    """Run the cleanup pass and return the final compacted AIG.
+
+    ``aig`` may contain dead nodes and forward references through
+    ``alias`` (old root -> replacement literal); the alias map is
+    extended in place with the duplicate redirections found.
+    """
+    machine = machine if machine is not None else ParallelMachine()
+    outer_tag = machine.tag
+    machine.set_tag("dedup")
+
+    def resolve(lit: int) -> int:
+        while (lit >> 1) in alias:
+            lit = lit_not_cond(alias[lit >> 1], lit_compl(lit))
+        return lit
+
+    levels, order = _resolved_levels(aig, alias, resolve)
+    machine.launch("dedup.levelize", [1] * max(len(order), 1))
+
+    batches: dict[int, list[int]] = {}
+    for var in order:
+        if aig.is_and(var) and not aig.is_dead(var) and var not in alias:
+            batches.setdefault(levels[var], []).append(var)
+
+    table = HashTable(expected=max(aig.num_ands * 2, 64))
+    duplicates = 0
+    for level in sorted(batches):
+        works = []
+        for var in batches[level]:
+            f0, f1 = aig.fanins(var)
+            r0 = resolve(f0)
+            r1 = resolve(f1)
+            folded = _fold(r0, r1)
+            if folded is not None:
+                alias[var] = folded
+                aig.mark_dead(var)
+                works.append(1)
+                continue
+            key0, key1 = lit_pair_key(r0, r1)
+            winner, probes = table.insert(key0, key1, var)
+            works.append(probes)
+            if winner != var:
+                alias[var] = winner << 1
+                aig.mark_dead(var)
+                duplicates += 1
+        machine.launch("dedup.level", works)
+
+    _remove_dangling(aig, alias, resolve, machine)
+    result, _ = aig.compact(resolve=alias)
+    # Result compaction is the parallel dump of the hash table to a
+    # dense array (Section III-E); host only stitches the PO list.
+    machine.launch("dedup.compact", [1] * max(result.num_ands, 1))
+    machine.host("dedup.finalize", result.num_pos)
+    machine.set_tag(outer_tag)
+    return result
+
+
+def _resolved_levels(
+    aig: Aig, alias: dict[int, int], resolve
+) -> tuple[dict[int, int], list[int]]:
+    """Levels and topological order of the alias-resolved live graph.
+
+    Aliases may point *forward* (a replaced root redirects to a newer
+    node id), so stored id order is not a topological order of the
+    resolved graph; an explicit DFS from the resolved POs is required.
+    """
+    levels: dict[int, int] = {0: 0}
+    for var in aig.pis:
+        levels[var] = 0
+    order: list[int] = []
+    for po_lit in aig.pos:
+        root = lit_var(resolve(po_lit))
+        if root in levels:
+            continue
+        stack = [root]
+        while stack:
+            var = stack[-1]
+            if var in levels:
+                stack.pop()
+                continue
+            f0, f1 = aig.fanins(var)
+            pending = []
+            for fanin in (f0, f1):
+                fvar = lit_var(resolve(fanin))
+                if fvar not in levels:
+                    pending.append(fvar)
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            v0 = lit_var(resolve(f0))
+            v1 = lit_var(resolve(f1))
+            levels[var] = max(levels[v0], levels[v1]) + 1
+            order.append(var)
+    return levels, order
+
+
+def _fold(r0: int, r1: int) -> int | None:
+    """Trivial-AND folding on resolved fanins; None when irreducible."""
+    key0, key1 = lit_pair_key(r0, r1)
+    if key0 == 0 or key0 == (key1 ^ 1):
+        return 0
+    if key0 == 1:
+        return key1
+    if key0 == key1:
+        return key0
+    return None
+
+
+def _remove_dangling(
+    aig: Aig,
+    alias: dict[int, int],
+    resolve,
+    machine: ParallelMachine,
+) -> None:
+    """Retire the MFFC of every zero-fanout node (one thread each)."""
+    nref = [0] * aig.num_vars
+    live = [
+        var
+        for var in aig.and_vars()
+        if var not in alias
+    ]
+    for var in live:
+        for fanin in aig.fanins(var):
+            nref[lit_var(resolve(fanin))] += 1
+    for po_lit in aig.pos:
+        nref[lit_var(resolve(po_lit))] += 1
+    machine.launch("dedup.count_refs", [1] * max(len(live), 1))
+
+    roots = [var for var in live if nref[var] == 0]
+    works = []
+    removed = 0
+    for root in roots:
+        if aig.is_dead(root):
+            continue
+        cone = 0
+        stack = [root]
+        while stack:
+            var = stack.pop()
+            if aig.is_dead(var):
+                continue
+            aig.mark_dead(var)
+            cone += 1
+            for fanin in aig.fanins(var):
+                fvar = lit_var(resolve(fanin))
+                nref[fvar] -= 1
+                if nref[fvar] == 0 and aig.is_and(fvar) and fvar not in alias:
+                    stack.append(fvar)
+        removed += cone
+        works.append(cone)
+    if roots:
+        machine.launch("dedup.dangling", works)

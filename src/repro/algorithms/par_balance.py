@@ -1,0 +1,192 @@
+"""GPU-parallel AND-balancing (paper, Section IV).
+
+The recursive ABC algorithm interleaves cluster collapse and subtree
+reconstruction; the parallel reformulation separates them into two
+stages (Section IV-B) justified by Property 3 (reconstruction order
+does not affect delay as long as topological dependencies hold):
+
+1. **Collapse** — identify all maximal AND clusters ("n-input AND
+   nodes") level-wise from POs to PIs with a frontier array, exactly
+   like the refactoring collapse but without early-stopping.
+2. **Reconstruction** — process the collapsed network's levels from PIs
+   to POs; within one level, all subtrees are rebuilt simultaneously by
+   repeated synchronized *insertion passes*, each creating one new AND
+   per subtree by combining its two minimum-delay operands through the
+   shared GPU hash table (Figure 6).
+
+Every stage reports batch/work profiles to the
+:class:`~repro.parallel.machine.ParallelMachine` for the cost model.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_compl, lit_not_cond, lit_var
+from repro.aig.traversal import aig_depth
+from repro.algorithms.common import PassResult
+from repro.algorithms.seq_balance import (
+    BALANCE_WORK_SCALE,
+    _internal_mask,
+    collect_cluster_inputs,
+)
+from repro.parallel.frontier import gather_unique
+from repro.parallel.hashtable import NodeHashTable
+from repro.parallel.machine import ParallelMachine
+
+
+def par_balance(
+    aig: Aig, machine: ParallelMachine | None = None
+) -> PassResult:
+    """Balance an AIG with the level-wise parallel algorithm."""
+    machine = machine if machine is not None else ParallelMachine()
+    nodes_before = aig.num_ands
+    levels_before = aig_depth(aig)
+
+    clusters, inputs_of = _collapse(aig, machine)
+    new, lit_map = _reconstruct(aig, clusters, inputs_of, machine)
+
+    for index, po_lit in enumerate(aig.pos):
+        mapped, _ = lit_map[lit_var(po_lit)]
+        new.add_po(
+            lit_not_cond(mapped, lit_compl(po_lit)), aig.po_name(index)
+        )
+    machine.host("b.finalize", aig.num_pos)
+    result, _ = new.compact()
+    return PassResult(
+        result,
+        nodes_before,
+        result.num_ands,
+        levels_before,
+        aig_depth(result),
+        details={"clusters": len(clusters)},
+    )
+
+
+def _collapse(
+    aig: Aig, machine: ParallelMachine
+) -> tuple[list[int], dict[int, list[int]]]:
+    """Frontier-driven cluster identification from POs towards PIs.
+
+    Returns the cluster roots (in discovery order) and each root's
+    input literal list.
+    """
+    internal = _internal_mask(aig)
+    # All balance kernels charge BALANCE_WORK_SCALE probe-equivalents
+    # per node operation, matching the sequential meter's units.
+    machine.launch(
+        "b.mark_internal", [BALANCE_WORK_SCALE] * max(aig.num_vars, 1)
+    )
+
+    frontier, gather_work = gather_unique(
+        (lit_var(lit) for lit in aig.pos), keep=aig.is_and
+    )
+    machine.launch(
+        "b.init_frontier", [BALANCE_WORK_SCALE] * max(gather_work, 1)
+    )
+    enqueued = set(frontier)
+    roots: list[int] = []
+    inputs_of: dict[int, list[int]] = {}
+    while frontier:
+        works = []
+        next_candidates: list[int] = []
+        for root in frontier:
+            inputs, visited = collect_cluster_inputs(aig, root, internal)
+            inputs_of[root] = inputs
+            roots.append(root)
+            works.append((visited + len(inputs)) * BALANCE_WORK_SCALE)
+            next_candidates.extend(lit_var(fanin) for fanin in inputs)
+        machine.launch("b.collapse", works)
+        frontier, gather_work = gather_unique(
+            next_candidates,
+            keep=lambda var: aig.is_and(var) and var not in enqueued,
+        )
+        enqueued.update(frontier)
+        machine.launch(
+            "b.gather_frontier",
+            [BALANCE_WORK_SCALE] * max(len(next_candidates), 1),
+        )
+    return roots, inputs_of
+
+
+def _reconstruct(
+    aig: Aig,
+    roots: list[int],
+    inputs_of: dict[int, list[int]],
+    machine: ParallelMachine,
+) -> tuple[Aig, dict[int, tuple[int, int]]]:
+    """Level-wise parallel subtree reconstruction (PIs to POs)."""
+    # Levels of the collapsed network: a subtree's level is one more
+    # than the maximum level of the subtrees rooted at its inputs.
+    level_of: dict[int, int] = {0: 0}
+    for var in aig.pis:
+        level_of[var] = 0
+    for root in sorted(roots):  # id order is topological
+        level = 0
+        for fanin in inputs_of[root]:
+            level = max(level, level_of[lit_var(fanin)])
+        level_of[root] = level + 1
+    machine.launch(
+        "b.levelize", [BALANCE_WORK_SCALE] * max(len(roots), 1)
+    )
+
+    batches: dict[int, list[int]] = {}
+    for root in roots:
+        batches.setdefault(level_of[root], []).append(root)
+
+    new = Aig(aig.name)
+    table = NodeHashTable(expected=aig.num_ands * 2)
+    lit_map: dict[int, tuple[int, int]] = {0: (0, 0)}
+    for var in aig.pis:
+        lit_map[var] = (new.add_pi(), 0)
+
+    def alloc(key0: int, key1: int) -> int:
+        return new.add_raw_and(key0, key1) >> 1
+
+    for level in sorted(batches):
+        batch = batches[level]
+        # Reconstruction table: per subtree, a min-heap of
+        # (delay, literal) operands still to be combined.
+        heaps = []
+        for root in batch:
+            operands = []
+            for fanin in inputs_of[root]:
+                mapped, delay = lit_map[lit_var(fanin)]
+                operands.append(
+                    (delay, lit_not_cond(mapped, lit_compl(fanin)))
+                )
+            heapq.heapify(operands)
+            heaps.append(operands)
+        machine.launch(
+            "b.init_recon_table",
+            [len(inputs_of[root]) * BALANCE_WORK_SCALE for root in batch],
+        )
+        # Synchronized insertion passes: one new node per subtree each.
+        while True:
+            works = []
+            active = False
+            for heap in heaps:
+                if len(heap) < 2:
+                    continue
+                active = True
+                d0, l0 = heapq.heappop(heap)
+                d1, l1 = heapq.heappop(heap)
+                merged, probes = table.get_or_create(l0, l1, alloc)
+                if merged == l0:
+                    heapq.heappush(heap, (d0, merged))
+                elif merged == l1:
+                    heapq.heappush(heap, (d1, merged))
+                elif merged <= 1:
+                    heapq.heappush(heap, (0, merged))
+                else:
+                    heapq.heappush(heap, (max(d0, d1) + 1, merged))
+                # Probe + heap maintenance, in probe-equivalents.
+                works.append((probes + 5) * BALANCE_WORK_SCALE)
+            if not active:
+                break
+            machine.launch("b.insertion_pass", works)
+        for root, heap in zip(batch, heaps):
+            delay, literal = heap[0]
+            lit_map[root] = (literal, delay)
+    return new, lit_map

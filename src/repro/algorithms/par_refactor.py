@@ -1,0 +1,397 @@
+"""GPU-parallel refactoring (paper, Section III).
+
+The pass runs in three stages:
+
+1. **Collapsing** (III-B a): partition the AIG into disjoint fanout-free
+   cones, level-wise from POs to PIs.  One thread per frontier root
+   runs a best-first intra-cone traversal that only expands nodes whose
+   every fanout already lies inside the cone (the FFC condition) and
+   early-stops at the maximum cut size; cut nodes become the next
+   frontier.  Theorem 1 guarantees the cones are pairwise disjoint —
+   the implementation asserts it with an owner map.
+2. **Resynthesis** (III-B b): one thread per cone computes the cone
+   function's truth table, ISOP and factored form; the *gain lower
+   bound* (III-D) — deleted nodes minus new-cone size, logic sharing
+   among new cones ignored — filters out negative-gain cones.
+   Zero-gain replacements are always accepted, as in the paper.
+3. **Replacement** (III-B b): a parallel hash table is seeded with all
+   surviving nodes; the new cones are inserted through sharing-aware
+   node creation, one node per cone per synchronized insertion round
+   (Figure 1d–1e); finally every old root is redirected to its new root
+   literal and the graph is compacted.
+
+``replace_mode="sequential"`` charges the whole replacement stage to
+the host instead of to kernels — the "rf with sequential replace"
+configuration of Table I, i.e. what adopting GPU rewriting's [9]
+replacement step would cost.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig
+from repro.aig.cuts import CutResult, reconv_cut
+from repro.aig.literals import lit_compl, lit_not_cond, lit_var, make_lit
+from repro.aig.traversal import aig_depth, fanout_lists, po_fanout_mask
+from repro.algorithms.common import PassResult
+from repro.algorithms.dedup import dedup_and_dangling
+from repro.logic.resyn import ResynPlan, build_plan, plan_resynthesis
+from repro.logic.truth import simulate_cone
+from repro.parallel.frontier import gather_unique
+from repro.parallel.hashtable import NodeHashTable
+from repro.parallel.machine import ParallelMachine
+
+#: The paper's maximum refactoring cut size.
+DEFAULT_CUT_SIZE = 12
+
+
+class ConeJob:
+    """One cone flowing through the refactoring pipeline."""
+
+    __slots__ = ("cut", "plan", "gain", "template", "new_root")
+
+    def __init__(self, cut: CutResult) -> None:
+        self.cut = cut
+        self.plan: ResynPlan | None = None
+        self.gain: int | None = None
+        self.template: Aig | None = None
+        self.new_root: int | None = None
+
+
+def par_refactor(
+    aig: Aig,
+    max_cut_size: int = DEFAULT_CUT_SIZE,
+    machine: ParallelMachine | None = None,
+    replace_mode: str = "parallel",
+    run_cleanup: bool = True,
+) -> PassResult:
+    """One pass of parallel refactoring; returns the compacted result."""
+    if replace_mode not in ("parallel", "sequential"):
+        raise ValueError(f"unknown replace_mode {replace_mode!r}")
+    machine = machine if machine is not None else ParallelMachine()
+    nodes_before = aig.num_ands
+    levels_before = aig_depth(aig)
+    working = aig.clone()
+
+    cones = collapse_into_ffcs(working, max_cut_size, machine)
+    _resynthesize(working, cones, machine)
+    kept = [job for job in cones if job.gain is not None and job.gain >= 0]
+    # Gain filtering is a parallel stream compaction (Figure 1b).
+    machine.launch("rf.filter", [1] * max(len(cones), 1))
+    kept += _semi_sharing_refine(working, cones, kept, machine)
+    alias = _replace(working, cones, kept, machine, replace_mode)
+
+    # Host post-processing: assembling the replacement list and
+    # resolving the outputs — the only sequential part of the proposed
+    # framework (Table I's "rf (proposed)" row).
+    machine.host("rf.postprocess", len(kept) + working.num_pos)
+    if run_cleanup:
+        result = dedup_and_dangling(working, alias, machine)
+    else:
+        result, _ = working.compact(resolve=alias)
+        machine.launch("rf.compact", [1] * max(result.num_ands, 1))
+    return PassResult(
+        result,
+        nodes_before,
+        result.num_ands,
+        levels_before,
+        aig_depth(result),
+        details={
+            "cones": len(cones),
+            "replaced": len(kept),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Stage 1: collapsing
+# ----------------------------------------------------------------------
+
+
+def collapse_into_ffcs(
+    aig: Aig,
+    max_cut_size: int,
+    machine: ParallelMachine,
+    early_stop: bool = True,
+) -> list[ConeJob]:
+    """Partition the AIG into disjoint FFCs, level-wise from the POs.
+
+    With ``early_stop`` disabled the traversal never stops at the cut
+    limit and full MFFCs are produced (used by tests of Property 2).
+    Raises ``AssertionError`` if two cones ever overlap — Theorem 1
+    says they cannot.
+    """
+    fanouts = fanout_lists(aig)
+    drives_po = po_fanout_mask(aig)
+    machine.launch("rf.fanout_index", [1] * max(aig.num_vars, 1))
+
+    def expandable(var: int, cone: set[int]) -> bool:
+        if drives_po[var]:
+            return False
+        for reader in fanouts[var]:
+            if reader not in cone:
+                return False
+        return True
+
+    limit = max_cut_size if early_stop else aig.num_vars + 2
+    owner: dict[int, int] = {}
+    frontier, gather_work = gather_unique(
+        (lit_var(lit) for lit in aig.pos), keep=aig.is_and
+    )
+    machine.launch("rf.init_frontier", [1] * max(gather_work, 1))
+    enqueued = set(frontier)
+    cones: list[ConeJob] = []
+    while frontier:
+        works = []
+        candidates: list[int] = []
+        for root in frontier:
+            cut = reconv_cut(aig, root, limit, expandable=expandable)
+            works.append(cut.work)
+            for member in cut.cone:
+                previous = owner.get(member)
+                if previous is not None:
+                    raise AssertionError(
+                        f"cone overlap: node {member} claimed by roots "
+                        f"{previous} and {root} (violates Theorem 1)"
+                    )
+                owner[member] = root
+            cones.append(ConeJob(cut))
+            candidates.extend(cut.leaves)
+        machine.launch("rf.collapse", works)
+        frontier, gather_work = gather_unique(
+            candidates,
+            keep=lambda var: aig.is_and(var) and var not in enqueued,
+        )
+        enqueued.update(frontier)
+        machine.launch("rf.gather_frontier", [1] * max(len(candidates), 1))
+    return cones
+
+
+# ----------------------------------------------------------------------
+# Stage 2: resynthesis and gain filtering
+# ----------------------------------------------------------------------
+
+
+def _resynthesize(
+    aig: Aig, cones: list[ConeJob], machine: ParallelMachine
+) -> None:
+    """Resynthesize every cone; compute the gain lower bound (III-D)."""
+
+    def process(job: ConeJob) -> tuple[None, int]:
+        cut = job.cut
+        leaves = sorted(cut.leaves)
+        table = simulate_cone(aig, make_lit(cut.root), leaves)
+        tt_work = len(cut.cone) * max(1, (1 << len(leaves)) >> 6)
+        plan = plan_resynthesis(table, len(leaves))
+        if plan is None:
+            job.gain = None  # SOP blow-up: cone filtered from replacement
+            return None, tt_work
+        job.plan = plan
+        # Template AIG: the new cone over symbolic leaves, linearized
+        # for one-node-per-round insertion.
+        template = Aig("template")
+        template_pis = [template.add_pi() for _ in range(len(leaves))]
+        root_lit = build_plan(plan, template_pis, template.add_and)
+        template.add_po(root_lit)
+        job.template = template
+        # New-cone nodes are counted without sharing among new cones:
+        # the lower-bound gain of Section III-D (intra-cone sharing,
+        # which one thread sees locally, is included).
+        job.gain = len(cut.cone) - template.num_ands
+        return None, tt_work + plan.work
+
+    machine.kernel("rf.resynthesize", cones, process)
+
+
+def _semi_sharing_refine(
+    aig: Aig,
+    cones: list[ConeJob],
+    kept: list[ConeJob],
+    machine: ParallelMachine,
+) -> list[ConeJob]:
+    """Semi-sharing-aware gain refinement (Section III-D).
+
+    The plain gain lower bound ignores all sharing; the paper's
+    evaluation additionally counts sharing between a new cone and the
+    nodes initialized in the hash table (the survivors).  Cones whose
+    no-share gain was negative are re-evaluated against the survivor
+    set implied by the first-round decision: template nodes whose fanin
+    pair already exists among survivors cost nothing.  Cones whose
+    refined gain is non-negative join the replacement set.
+    """
+    replaced_nodes: set[int] = set()
+    for job in kept:
+        replaced_nodes.update(job.cut.cone)
+    survivor_keys: dict[tuple[int, int], int] = {}
+    for var in aig.and_vars():
+        if var not in replaced_nodes:
+            survivor_keys[aig.fanins(var)] = var
+
+    rejected = [
+        job for job in cones if job.gain is not None and job.gain < 0
+    ]
+
+    def refine(job: ConeJob) -> tuple[int, int]:
+        """Semi-sharing gain of ``job`` vs the current survivor keys."""
+        template = job.template
+        leaf_lits = [make_lit(var) for var in sorted(job.cut.leaves)]
+        lit_map: dict[int, int | None] = {0: 0}
+        for t_var, lit in zip(template.pis, leaf_lits):
+            lit_map[t_var] = lit
+        count_new = 0
+        work = 1
+        for t_var in template.and_vars():
+            f0, f1 = template.fanins(t_var)
+            n0 = lit_map[lit_var(f0)]
+            n1 = lit_map[lit_var(f1)]
+            if n0 is None or n1 is None:
+                count_new += 1
+                lit_map[t_var] = None
+                continue
+            key0 = lit_not_cond(n0, lit_compl(f0))
+            key1 = lit_not_cond(n1, lit_compl(f1))
+            if key0 > key1:
+                key0, key1 = key1, key0
+            work += 1
+            hit = survivor_keys.get((key0, key1))
+            if hit is None:
+                count_new += 1
+                lit_map[t_var] = None
+            else:
+                lit_map[t_var] = make_lit(hit)
+        return len(job.cut.cone) - count_new, work
+
+    def drop_keys(job: ConeJob) -> None:
+        for var in job.cut.cone:
+            key = aig.fanins(var)
+            if survivor_keys.get(key) == var:
+                del survivor_keys[key]
+
+    def restore_keys(job: ConeJob) -> None:
+        for var in job.cut.cone:
+            survivor_keys.setdefault(aig.fanins(var), var)
+
+    # Accept incrementally: once a cone joins the replacement set its
+    # old nodes stop providing sharing credit to later evaluations.
+    accepted: list[ConeJob] = []
+    works = []
+    for job in rejected:
+        gain, work = refine(job)
+        works.append(work)
+        if gain >= 0:
+            job.gain = gain
+            accepted.append(job)
+            drop_keys(job)
+    machine.launch("rf.gain_semi", works or [0])
+    # Verification sweep: earlier acceptances may have credited sharing
+    # with nodes a later acceptance deleted; re-check against the final
+    # survivor set until stable so the no-area-increase guarantee of
+    # Section III-D holds exactly.
+    while True:
+        dropped = False
+        verify_works = []
+        for job in list(accepted):
+            gain, work = refine(job)
+            verify_works.append(work)
+            if gain < 0:
+                accepted.remove(job)
+                restore_keys(job)
+                dropped = True
+            else:
+                job.gain = gain
+        machine.launch("rf.gain_verify", verify_works or [0])
+        if not dropped:
+            break
+    return accepted
+
+
+# ----------------------------------------------------------------------
+# Stage 3: replacement
+# ----------------------------------------------------------------------
+
+
+def _replace(
+    aig: Aig,
+    cones: list[ConeJob],
+    kept: list[ConeJob],
+    machine: ParallelMachine,
+    replace_mode: str,
+) -> dict[int, int]:
+    """Insert the kept new cones and redirect their old roots.
+
+    Returns the alias map (old root variable -> new root literal).
+    The whole stage runs as parallel kernels in ``"parallel"`` mode; in
+    ``"sequential"`` mode the identical work is charged to the host,
+    modeling the replacement step of GPU rewriting [9].
+    """
+    parallel = replace_mode == "parallel"
+
+    def account(name: str, works: list[int]) -> None:
+        if parallel:
+            machine.launch(name, works)
+        else:
+            machine.host(name, sum(works))
+
+    # Delete the old cones that are being replaced.
+    delete_works = []
+    replaced_nodes: set[int] = set()
+    for job in kept:
+        for member in job.cut.cone:
+            replaced_nodes.add(member)
+        delete_works.append(len(job.cut.cone))
+    account("rf.delete_old", delete_works)
+    for member in replaced_nodes:
+        aig.mark_dead(member)
+
+    # Seed the hash table with every surviving AND node (the cones not
+    # replaced; the cut nodes of replaced cones are roots of other
+    # cones and are covered by the same sweep).  Initialization is a
+    # parallel kernel in both replace modes — what [9] serializes is
+    # the replacement decision, not the table build.
+    table = NodeHashTable(expected=max(aig.num_ands * 2, 64))
+    seed_works = []
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        seed_works.append(table.seed(f0, f1, var))
+    machine.launch("rf.seed_table", seed_works or [0])
+
+    def alloc(key0: int, key1: int) -> int:
+        return aig.add_raw_and(key0, key1) >> 1
+
+    # Insert the new cones: one node per cone per synchronized round.
+    # Each cone walks its template in topological (id) order; template
+    # PIs map to the cone's cut nodes in the original id space.
+    states = []
+    for job in kept:
+        template = job.template
+        leaf_lits = [make_lit(var) for var in sorted(job.cut.leaves)]
+        lit_map: dict[int, int] = {0: 0}
+        for t_var, lit in zip(template.pis, leaf_lits):
+            lit_map[t_var] = lit
+        states.append((job, template, lit_map, list(template.and_vars())))
+    round_index = 0
+    while True:
+        works = []
+        for job, template, lit_map, order in states:
+            if round_index >= len(order):
+                continue
+            t_var = order[round_index]
+            f0, f1 = template.fanins(t_var)
+            n0 = lit_not_cond(lit_map[lit_var(f0)], lit_compl(f0))
+            n1 = lit_not_cond(lit_map[lit_var(f1)], lit_compl(f1))
+            literal, probes = table.get_or_create(n0, n1, alloc)
+            lit_map[t_var] = literal
+            works.append(probes + 1)
+        if not works:
+            break
+        account("rf.insertion_round", works)
+        round_index += 1
+
+    # Redirect old roots to new roots.
+    alias: dict[int, int] = {}
+    for job, template, lit_map, _ in states:
+        po_lit = template.pos[0]
+        new_root = lit_not_cond(lit_map[lit_var(po_lit)], lit_compl(po_lit))
+        if (new_root >> 1) != job.cut.root:
+            alias[job.cut.root] = new_root
+    account("rf.redirect_roots", [1] * max(len(states), 1))
+    return alias

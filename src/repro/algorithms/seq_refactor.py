@@ -1,0 +1,171 @@
+"""Sequential refactoring (the ABC ``drf`` / ``drf -z`` baseline).
+
+For every AND node in topological order, a large reconvergence-driven
+cut (default size 12, the paper's setting) is computed, the local
+function of the node w.r.t. the cut is extracted as a truth table,
+resynthesized through ISOP + algebraic factoring, and the new
+implementation replaces the node's MFFC when that decreases (or, with
+``zero_gain``, does not increase) the node count.
+
+Replacement is expressed through the alias mechanism of
+:class:`~repro.algorithms.common.AliasView`: the old root redirects to
+the new root literal, reference counts are transferred, and the dead
+MFFC is retired.  Because later nodes read alias-resolved fanins, each
+replacement is immediately visible to subsequent cones — the on-the-fly
+updating the paper credits for sequential refactoring's quality edge
+over one-pass parallel refactoring.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig
+from repro.aig.cuts import reconv_cut
+from repro.aig.literals import lit_var, make_lit
+from repro.aig.traversal import aig_depth
+from repro.algorithms.common import AliasView, PassResult, resolved_fanout_counts
+from repro.logic.resyn import build_plan, plan_resynthesis
+from repro.logic.truth import simulate_cone
+from repro.parallel.machine import SeqMeter
+
+#: The paper's maximum refactoring cut size.
+DEFAULT_CUT_SIZE = 12
+
+
+def seq_refactor(
+    aig: Aig,
+    max_cut_size: int = DEFAULT_CUT_SIZE,
+    zero_gain: bool = False,
+    meter: SeqMeter | None = None,
+) -> PassResult:
+    """Refactor an AIG node by node; returns the compacted result."""
+    meter = meter if meter is not None else SeqMeter()
+    working = aig.clone()
+    nodes_before = working.num_ands
+    levels_before = aig_depth(working)
+
+    view = AliasView(working)
+    nref = resolved_fanout_counts(view)
+    nref.extend([0] * 16)  # slack; grown as nodes are added
+    original_limit = working.num_vars
+    min_gain = 0 if zero_gain else 1
+
+    attempted = 0
+    replaced = 0
+    for root in range(original_limit):
+        if not view.is_and(root) or root in view.alias:
+            continue
+        if nref[root] == 0:
+            continue  # became dangling after an earlier replacement
+        attempted += 1
+        gain, work = _try_replace(
+            view, nref, root, max_cut_size, min_gain
+        )
+        meter.add(work, "rf.node")
+        if gain is not None:
+            replaced += 1
+
+    result, _ = working.compact(resolve=view.alias)
+    return PassResult(
+        result,
+        nodes_before,
+        result.num_ands,
+        levels_before,
+        aig_depth(result),
+        details={"attempted": attempted, "replaced": replaced},
+    )
+
+
+def _try_replace(
+    view: AliasView,
+    nref: list[int],
+    root: int,
+    max_cut_size: int,
+    min_gain: int,
+) -> tuple[int | None, int]:
+    """Evaluate and (if profitable) commit one cone replacement.
+
+    Returns ``(gain_or_None, work_units)``; ``None`` means rejected.
+    """
+    aig = view.aig
+    cut = reconv_cut(view, root, max_cut_size)
+    work = cut.work
+    if len(cut.cone) < 2:
+        return None, work  # nothing to restructure
+    leaves = sorted(cut.leaves)
+    table = simulate_cone(view, make_lit(root), leaves)
+    tt_work = len(cut.cone) * max(1, (1 << len(leaves)) >> 6)
+    plan = plan_resynthesis(table, len(leaves))
+    if plan is None:
+        return None, work + tt_work  # SOP blow-up: leave untouched
+    work += tt_work + plan.work
+
+    # Dereference the cone-limited MFFC: these nodes disappear if we
+    # commit.  The deref stops at the cut leaves (which the new cone
+    # re-references), so deletion never escapes the resynthesized cone.
+    deleted = deref_cone(view, root, cut.cone, nref)
+    for var in deleted:
+        view.kill(var)
+
+    snapshot = aig.num_vars
+    leaf_lits = [make_lit(var) for var in leaves]
+    new_root = build_plan(plan, leaf_lits, aig.add_and)
+    created = aig.num_vars - snapshot
+    work += created + len(deleted)
+    gain = len(deleted) - created
+
+    if gain < min_gain or (new_root >> 1) == root:
+        # Reject: retire the speculative nodes, revive the dereferenced
+        # cone and restore its reference counts.
+        aig.truncate(snapshot)
+        for var in deleted:
+            view.revive(var)
+        ref_cone_back(view, deleted, nref)
+        return None, work
+
+    # Commit: account references of the new nodes, transfer the root's.
+    while len(nref) < aig.num_vars:
+        nref.append(0)
+    for var in range(snapshot, aig.num_vars):
+        f0, f1 = aig.fanins(var)
+        nref[lit_var(f0)] += 1
+        nref[lit_var(f1)] += 1
+    new_root_var = new_root >> 1
+    nref[new_root_var] += nref[root]
+    nref[root] = 0
+    view.set_alias(root, new_root)
+    return gain, work
+
+
+def deref_cone(
+    view: AliasView, root: int, cone: set[int], nref: list[int]
+) -> set[int]:
+    """Dereference the MFFC of ``root`` restricted to ``cone``.
+
+    Walks down from the root decrementing fanin reference counts,
+    recursing only into cone members whose count reaches zero — the
+    nodes that become unreferenced once the root's function is
+    re-implemented over the cone's cut.  Returns the dereferenced set
+    (the root included).  Shared by refactoring and rewriting.
+    """
+    deleted: set[int] = set()
+    stack = [root]
+    while stack:
+        var = stack.pop()
+        if var in deleted:
+            continue
+        deleted.add(var)
+        for fanin in view.fanins(var):
+            fvar = lit_var(fanin)
+            nref[fvar] -= 1
+            if nref[fvar] == 0 and fvar in cone:
+                stack.append(fvar)
+    return deleted
+
+
+def ref_cone_back(
+    view: AliasView, deleted: set[int], nref: list[int]
+) -> None:
+    """Undo :func:`deref_cone` for the exact node set it collected."""
+    for var in deleted:
+        for fanin in view.fanins(var):
+            nref[lit_var(fanin)] += 1

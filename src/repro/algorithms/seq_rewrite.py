@@ -1,0 +1,198 @@
+"""Sequential DAG-aware rewriting (the ABC ``drw`` / ``drwz`` baseline).
+
+For every AND node in topological order, the 4-feasible cuts are
+examined; each cut function is NPN-canonicalized and looked up in the
+rewriting library (:mod:`repro.algorithms.rewrite_lib`).  The candidate
+with the best estimated gain — nodes freed by dereferencing the cut
+cone minus the library structure's size — is committed when the *exact*
+gain (after structural hashing) meets the threshold: positive for
+``rw``, non-negative for ``rwz``.
+
+Like sequential refactoring, replacement is alias-based and immediately
+visible to later nodes (DAG-aware, on-the-fly updating).
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig
+from repro.aig.cuts import enumerate_cuts
+from repro.aig.literals import lit_var, make_lit
+from repro.aig.traversal import aig_depth
+from repro.algorithms.common import AliasView, PassResult, resolved_fanout_counts
+from repro.algorithms.rewrite_lib import instantiate_template, match_function
+from repro.algorithms.seq_refactor import deref_cone, ref_cone_back
+from repro.logic.truth import simulate_cone
+from repro.parallel.machine import SeqMeter
+
+#: Rewriting cut width (4-input cuts, as in ABC and NovelRewrite).
+REWRITE_CUT_SIZE = 4
+
+#: Per-node cut budget during enumeration.
+MAX_CUTS_PER_NODE = 8
+
+#: Probe-equivalent cost of evaluating one cut: cone truth table, NPN
+#: canonicalization, library matching and DAG-aware gain counting.
+#: Sized so the metered per-pass drw:drf cost ratio lands near ABC's
+#: observed ~0.6-0.9x (derivable from the paper's Table III: ABC resyn2
+#: minus rf_resyn runtime split over the four rewrite passes).
+CUT_EVAL_WORK = 120
+
+
+def seq_rewrite(
+    aig: Aig,
+    zero_gain: bool = False,
+    meter: SeqMeter | None = None,
+) -> PassResult:
+    """Rewrite an AIG node by node; returns the compacted result."""
+    meter = meter if meter is not None else SeqMeter()
+    working = aig.clone()
+    nodes_before = working.num_ands
+    levels_before = aig_depth(working)
+
+    cuts = enumerate_cuts(working, REWRITE_CUT_SIZE, MAX_CUTS_PER_NODE)
+    meter.add(
+        sum(len(cut_set) for cut_set in cuts.values()), "rw.cut_enum"
+    )
+
+    view = AliasView(working)
+    nref = resolved_fanout_counts(view)
+    original_limit = working.num_vars
+    min_gain = 0 if zero_gain else 1
+
+    attempted = 0
+    replaced = 0
+    for root in range(original_limit):
+        if not view.is_and(root) or root in view.alias:
+            continue
+        if nref[root] == 0:
+            continue
+        attempted += 1
+        committed, work = _rewrite_node(
+            view, nref, root, cuts.get(root, []), min_gain
+        )
+        meter.add(work, "rw.node")
+        if committed:
+            replaced += 1
+
+    result, _ = working.compact(resolve=view.alias)
+    return PassResult(
+        result,
+        nodes_before,
+        result.num_ands,
+        levels_before,
+        aig_depth(result),
+        details={"attempted": attempted, "replaced": replaced},
+    )
+
+
+def _rewrite_node(
+    view: AliasView,
+    nref: list[int],
+    root: int,
+    cut_list: list[tuple[int, ...]],
+    min_gain: int,
+) -> tuple[bool, int]:
+    """Try to rewrite one node; returns (committed, work_units)."""
+    work = 0
+    best = None  # (est_gain, leaves, transform, template, cone)
+    for cut in cut_list:
+        if len(cut) < 2:
+            continue
+        evaluated = _evaluate_cut(view, nref, root, cut)
+        work += CUT_EVAL_WORK
+        if evaluated is None:
+            continue
+        est_gain, leaves, transform, template, cone = evaluated
+        if best is None or est_gain > best[0]:
+            best = evaluated
+    if best is None or best[0] < min_gain:
+        return False, work
+    est_gain, leaves, transform, template, cone = best
+
+    aig = view.aig
+    deleted = deref_cone(view, root, cone, nref)
+    for var in deleted:
+        view.kill(var)
+    snapshot = aig.num_vars
+    leaf_lits = [make_lit(var) for var in leaves]
+    new_root = instantiate_template(template, transform, leaf_lits, aig.add_and)
+    created = aig.num_vars - snapshot
+    gain = len(deleted) - created
+    work += len(deleted) + created
+
+    if gain < min_gain or (new_root >> 1) == root:
+        aig.truncate(snapshot)
+        for var in deleted:
+            view.revive(var)
+        ref_cone_back(view, deleted, nref)
+        return False, work
+
+    while len(nref) < aig.num_vars:
+        nref.append(0)
+    for var in range(snapshot, aig.num_vars):
+        f0, f1 = aig.fanins(var)
+        nref[lit_var(f0)] += 1
+        nref[lit_var(f1)] += 1
+    nref[new_root >> 1] += nref[root]
+    nref[root] = 0
+    view.set_alias(root, new_root)
+    return True, work
+
+
+def _evaluate_cut(
+    view: AliasView,
+    nref: list[int],
+    root: int,
+    cut: tuple[int, ...],
+):
+    """Estimate the gain of rewriting ``root`` against one cut.
+
+    Returns ``(est_gain, leaves, transform, template, cone)`` or None
+    when the cut is stale (leaves deleted by earlier replacements, or
+    the cone escapes the resolved cut).
+    """
+    leaves: list[int] = []
+    seen: set[int] = set()
+    for var in cut:
+        resolved = view.resolve(make_lit(var))
+        rvar = lit_var(resolved)
+        if view.aig.is_and(rvar) and rvar in view.dead:
+            return None
+        if rvar not in seen:
+            seen.add(rvar)
+            leaves.append(rvar)
+    if len(leaves) < 2 or root in seen:
+        return None
+    leaves.sort()
+    try:
+        cone = _cone_nodes(view, root, seen)
+    except ValueError:
+        return None
+    try:
+        table = simulate_cone(view, make_lit(root), leaves)
+    except ValueError:
+        return None
+    transform, template = match_function(table, leaves)
+    # Exact freed-node count via dereference-then-restore.
+    deleted = deref_cone(view, root, cone, nref)
+    ref_cone_back(view, deleted, nref)
+    est_gain = len(deleted) - template.num_ands
+    return est_gain, leaves, transform, template, cone
+
+
+def _cone_nodes(view: AliasView, root: int, cut: set[int]) -> set[int]:
+    """AND variables between ``root`` and ``cut`` on the resolved graph."""
+    cone: set[int] = set()
+    stack = [root]
+    while stack:
+        var = stack.pop()
+        if var in cone or var in cut:
+            continue
+        if not view.is_and(var):
+            raise ValueError(f"cut does not cover var {var}")
+        cone.add(var)
+        if len(cone) > 64:
+            raise ValueError("cone blow-up: stale cut")
+        for fanin in view.fanins(var):
+            stack.append(lit_var(fanin))
+    return cone

@@ -1,0 +1,53 @@
+"""Benchmark circuit generators and the named evaluation suite."""
+
+from repro.benchgen.arith import (
+    adder,
+    divider,
+    full_adder,
+    hypotenuse,
+    isqrt,
+    log2_approx,
+    multiplier,
+    mux_gate,
+    ripple_add,
+    ripple_sub,
+    sin_approx,
+    square,
+    voter,
+    xor_gate,
+)
+from repro.benchgen.control import decoder, random_control
+from repro.benchgen.enlarge import double, enlarge
+from repro.benchgen.random_aig import mtm_random
+from repro.benchgen.suite import (
+    SUITE_GENERATORS,
+    SUITE_ORDER,
+    load_benchmark,
+    load_suite,
+)
+
+__all__ = [
+    "SUITE_GENERATORS",
+    "SUITE_ORDER",
+    "adder",
+    "decoder",
+    "divider",
+    "double",
+    "enlarge",
+    "full_adder",
+    "hypotenuse",
+    "isqrt",
+    "load_benchmark",
+    "load_suite",
+    "log2_approx",
+    "multiplier",
+    "mtm_random",
+    "mux_gate",
+    "random_control",
+    "ripple_add",
+    "ripple_sub",
+    "sin_approx",
+    "square",
+    "voter",
+    "xor_gate",
+]

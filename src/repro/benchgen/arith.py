@@ -1,0 +1,377 @@
+"""Parametric arithmetic circuit generators.
+
+These stand in for the EPFL arithmetic benchmarks (DESIGN.md records
+the substitution): each generator reproduces the structural *regime* of
+its namesake — the divider and square root are O(n²)-node,
+O(n²)-level digit-recurrence datapaths (the deep/narrow regime where
+level-wise parallelism suffers), multiplier/square are mid-depth
+arrays, the adder and voter are shallow/wide.
+
+All generators build word-level operators from classic gate-level
+netlist structures (ripple/carry-save adders, array multipliers,
+restoring dividers, non-restoring square roots, barrel shifters), so
+the AIGs look like real RTL-synthesized logic rather than random
+graphs — refactoring and balancing behave on them as they do on the
+paper's circuits.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig
+from repro.aig.literals import CONST0
+
+# ----------------------------------------------------------------------
+# Gate-level building blocks
+# ----------------------------------------------------------------------
+
+
+def xor_gate(aig: Aig, a: int, b: int) -> int:
+    """XOR from three ANDs (the standard AIG idiom).
+
+    ``a XOR b = NOT(a AND b) AND NOT(NOT a AND NOT b)`` — true exactly
+    when the operands disagree.
+    """
+    return aig.add_and(aig.add_and(a, b) ^ 1, aig.add_and(a ^ 1, b ^ 1) ^ 1)
+
+
+def mux_gate(aig: Aig, sel: int, on_true: int, on_false: int) -> int:
+    """2:1 multiplexer: ``sel ? on_true : on_false``."""
+    t = aig.add_and(sel, on_true)
+    f = aig.add_and(sel ^ 1, on_false)
+    return aig.add_and(t ^ 1, f ^ 1) ^ 1
+
+
+def full_adder(aig: Aig, a: int, b: int, cin: int) -> tuple[int, int]:
+    """Full adder; returns (sum, carry)."""
+    axb = xor_gate(aig, a, b)
+    total = xor_gate(aig, axb, cin)
+    carry_a = aig.add_and(a, b)
+    carry_b = aig.add_and(cin, axb)
+    carry = aig.add_and(carry_a ^ 1, carry_b ^ 1) ^ 1
+    return total, carry
+
+
+def ripple_add(
+    aig: Aig, xs: list[int], ys: list[int], cin: int = CONST0
+) -> list[int]:
+    """Ripple-carry addition; returns n+1 sum bits (LSB first)."""
+    if len(xs) != len(ys):
+        raise ValueError("operand widths differ")
+    out = []
+    carry = cin
+    for a, b in zip(xs, ys):
+        total, carry = full_adder(aig, a, b, carry)
+        out.append(total)
+    out.append(carry)
+    return out
+
+
+def ripple_sub(
+    aig: Aig, xs: list[int], ys: list[int]
+) -> tuple[list[int], int]:
+    """Ripple-borrow subtraction ``xs - ys``.
+
+    Returns (difference bits, borrow) — borrow true means ``xs < ys``.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("operand widths differ")
+    diff = []
+    carry = aig.add_and(CONST0 ^ 1, CONST0 ^ 1)  # const 1
+    for a, b in zip(xs, ys):
+        nb = b ^ 1
+        total, carry = full_adder(aig, a, nb, carry)
+        diff.append(total)
+    return diff, carry ^ 1
+
+
+def ge_compare(aig: Aig, xs: list[int], ys: list[int]) -> int:
+    """``xs >= ys`` via an MSB-first comparator chain.
+
+    Digit-recurrence datapaths below compute this *separately* from the
+    subtractor that produces the difference — the compare-then-subtract
+    idiom of naive RTL, and the redundancy profile that makes the EPFL
+    ``div``/``sqrt`` so responsive to resynthesis.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("operand widths differ")
+    all_equal = CONST0 ^ 1  # const true
+    greater = CONST0
+    for a, b in zip(reversed(xs), reversed(ys)):
+        a_gt_b = aig.add_and(a, b ^ 1)
+        a_lt_b = aig.add_and(a ^ 1, b)
+        equal = aig.add_and(a_gt_b ^ 1, a_lt_b ^ 1)
+        new_gt = aig.add_and(all_equal, a_gt_b)
+        greater = aig.add_and(greater ^ 1, new_gt ^ 1) ^ 1
+        all_equal = aig.add_and(all_equal, equal)
+    return aig.add_and(greater ^ 1, all_equal ^ 1) ^ 1
+
+
+def word(aig: Aig, width: int, prefix: str) -> list[int]:
+    """Create ``width`` named PIs (LSB first)."""
+    return [aig.add_pi(f"{prefix}{index}") for index in range(width)]
+
+
+def add_outputs(aig: Aig, bits: list[int], prefix: str) -> None:
+    """Register a literal word as named POs (LSB first)."""
+    for index, lit in enumerate(bits):
+        aig.add_po(lit, f"{prefix}{index}")
+
+
+# ----------------------------------------------------------------------
+# Word-level operators
+# ----------------------------------------------------------------------
+
+
+def adder(width: int) -> Aig:
+    """``width``-bit ripple-carry adder (shallow reference datapath)."""
+    aig = Aig(f"adder{width}")
+    xs = word(aig, width, "a")
+    ys = word(aig, width, "b")
+    add_outputs(aig, ripple_add(aig, xs, ys), "s")
+    return aig
+
+
+def multiplier(width: int) -> Aig:
+    """``width``x``width`` unsigned array multiplier (mid-depth array)."""
+    aig = Aig(f"multiplier{width}")
+    xs = word(aig, width, "a")
+    ys = word(aig, width, "b")
+    add_outputs(aig, _mult_bits(aig, xs, ys), "p")
+    return aig
+
+
+def _mult_bits(aig: Aig, xs: list[int], ys: list[int]) -> list[int]:
+    """Array multiplication of two literal words (row-by-row ripple)."""
+    acc = [aig.add_and(x, ys[0]) for x in xs]
+    out = [acc[0]]
+    acc = acc[1:] + [CONST0]
+    for row in range(1, len(ys)):
+        partial = [aig.add_and(x, ys[row]) for x in xs]
+        summed = ripple_add(aig, acc, partial)
+        out.append(summed[0])
+        acc = summed[1:]
+    return out + acc
+
+
+def square(width: int) -> Aig:
+    """Squarer: the multiplier with both operands tied to one word."""
+    aig = Aig(f"square{width}")
+    xs = word(aig, width, "a")
+    add_outputs(aig, _mult_bits(aig, xs, xs), "p")
+    return aig
+
+
+def divider(width: int) -> Aig:
+    """Restoring unsigned divider (the deep, serial-recurrence regime).
+
+    ``width`` quotient bits are produced by ``width`` compare-then-
+    subtract-then-select iterations over a rippling remainder —
+    O(width²) nodes *and* O(width²) levels, the same shape as the EPFL
+    ``div``.  The comparison is computed by a dedicated comparator
+    chain rather than reusing the subtractor's borrow, reproducing the
+    redundancy of HLS-style RTL that resynthesis feeds on.
+    """
+    aig = Aig(f"div{width}")
+    dividend = word(aig, width, "n")
+    divisor = word(aig, width, "d")
+    rem = [CONST0] * (width + 1)
+    div_ext = divisor + [CONST0]
+    quotient: list[int] = [CONST0] * width
+    for step in range(width - 1, -1, -1):
+        rem = [dividend[step]] + rem[:-1]
+        diff, _ = ripple_sub(aig, rem, div_ext)
+        fits = ge_compare(aig, rem, div_ext)
+        rem = [
+            mux_gate(aig, fits, new, old)
+            for old, new in zip(rem, diff)
+        ]
+        quotient[step] = fits
+    add_outputs(aig, quotient, "q")
+    add_outputs(aig, rem[:width], "r")
+    return aig
+
+
+def isqrt(width: int) -> Aig:
+    """Restoring integer square root (deep digit recurrence).
+
+    ``width`` must be even; produces ``width/2`` root bits and the
+    remainder, via the classic two-bits-per-step schoolbook method —
+    the EPFL ``sqrt`` regime.
+    """
+    if width % 2:
+        raise ValueError("isqrt width must be even")
+    aig = Aig(f"sqrt{width}")
+    xs = word(aig, width, "x")
+    half = width // 2
+    w = width + 2  # working width for remainder and trial subtrahend
+    rem = [CONST0] * w
+    root: list[int] = []  # MSB first during the recurrence
+    for step in range(half):
+        hi = width - 2 * step
+        pair = [xs[hi - 2], xs[hi - 1]]
+        rem = pair + rem[:-2]
+        # Trial subtrahend: (root << 2) | 01.
+        const1 = CONST0 ^ 1
+        trial = [const1, CONST0] + [
+            root[len(root) - 1 - index] if index < len(root) else CONST0
+            for index in range(w - 2)
+        ]
+        diff, _ = ripple_sub(aig, rem, trial)
+        fits = ge_compare(aig, rem, trial)
+        rem = [mux_gate(aig, fits, new, old) for old, new in zip(rem, diff)]
+        root.append(fits)
+    add_outputs(aig, list(reversed(root)), "s")
+    add_outputs(aig, rem[:width], "r")
+    return aig
+
+
+def hypotenuse(width: int) -> Aig:
+    """``isqrt(a² + b²)`` — the deepest datapath (the ``hyp`` regime)."""
+    aig = Aig(f"hyp{width}")
+    xs = word(aig, width, "a")
+    ys = word(aig, width, "b")
+    xsq = _mult_bits(aig, xs, xs)
+    ysq = _mult_bits(aig, ys, ys)
+    total = ripple_add(aig, xsq, ysq)
+    if len(total) % 2:
+        total.append(CONST0)
+    root = _sqrt_bits(aig, total)
+    add_outputs(aig, root, "h")
+    return aig
+
+
+def _sqrt_bits(aig: Aig, xs: list[int]) -> list[int]:
+    """Square-root recurrence over an existing literal word."""
+    width = len(xs)
+    half = width // 2
+    w = width + 2
+    rem = [CONST0] * w
+    root: list[int] = []
+    const1 = CONST0 ^ 1
+    for step in range(half):
+        hi = width - 2 * step
+        pair = [xs[hi - 2], xs[hi - 1]]
+        rem = pair + rem[:-2]
+        trial = [const1, CONST0] + [
+            root[len(root) - 1 - index] if index < len(root) else CONST0
+            for index in range(w - 2)
+        ]
+        diff, _ = ripple_sub(aig, rem, trial)
+        fits = ge_compare(aig, rem, trial)
+        rem = [mux_gate(aig, fits, new, old) for old, new in zip(rem, diff)]
+        root.append(fits)
+    return list(reversed(root))
+
+
+def log2_approx(width: int) -> Aig:
+    """Leading-one position + normalized mantissa (the ``log2`` regime).
+
+    A priority encoder feeds a mux-tree barrel shifter; a small squarer
+    on the top mantissa bits adds the arithmetic interpolation flavour.
+    Mid-depth, mux-dominated — between the shallow controls and the
+    deep recurrences.
+    """
+    aig = Aig(f"log2_{width}")
+    xs = word(aig, width, "x")
+    # Priority encoder: one-hot leading-one flags, MSB first.
+    none_higher = CONST0 ^ 1  # const 1
+    onehot = []
+    for index in range(width - 1, -1, -1):
+        flag = aig.add_and(xs[index], none_higher)
+        onehot.append(flag)
+        none_higher = aig.add_and(none_higher, xs[index] ^ 1)
+    # Binary exponent from the one-hot flags.
+    bits = max(1, (width - 1).bit_length())
+    exponent = []
+    for bit in range(bits):
+        acc = CONST0
+        for position, flag in enumerate(onehot):
+            value = width - 1 - position
+            if value >> bit & 1:
+                acc = aig.add_and(acc ^ 1, flag ^ 1) ^ 1
+        exponent.append(acc)
+    # Barrel shifter normalizing x so the leading one reaches the MSB.
+    shifted = list(xs)
+    for stage in range(bits):
+        amount = 1 << stage
+        control = exponent[stage] ^ 1  # shift left when exponent bit is 0
+        shifted = [
+            mux_gate(
+                aig,
+                control,
+                shifted[index - amount] if index >= amount else CONST0,
+                shifted[index],
+            )
+            for index in range(width)
+        ]
+    mant_width = min(8, width // 2) or 1
+    mantissa = shifted[width - mant_width :]
+    interp = _mult_bits(aig, mantissa, mantissa)
+    add_outputs(aig, exponent, "e")
+    add_outputs(aig, interp[: width], "m")
+    return aig
+
+
+def sin_approx(width: int) -> Aig:
+    """Cubic polynomial ``x - x³/6``-style datapath (the ``sin`` regime).
+
+    Two chained array multiplications and a subtraction: a multiplier-
+    dominated mid-size, mid-depth circuit.
+    """
+    aig = Aig(f"sin{width}")
+    xs = word(aig, width, "x")
+    xsq = _mult_bits(aig, xs, xs)[width : 2 * width]  # x² >> width
+    xcube = _mult_bits(aig, xsq, xs)[width : 2 * width]  # x³ >> 2·width
+    # Divide by 8 (shift) as the /6 stand-in, then subtract.
+    scaled = xcube[3:] + [CONST0] * 3
+    diff, _ = ripple_sub(aig, xs, scaled)
+    add_outputs(aig, diff, "s")
+    return aig
+
+
+def voter(num_inputs: int) -> Aig:
+    """Majority voter: popcount tree + comparator (shallow and wide)."""
+    aig = Aig(f"voter{num_inputs}")
+    inputs = word(aig, num_inputs, "v")
+    # Wallace-tree carry-save reduction: each round compresses disjoint
+    # triples of equal-weight bits in parallel, keeping the popcount
+    # depth logarithmic.
+    columns: list[list[int]] = [list(inputs)]
+    weight = 0
+    while weight < len(columns):
+        column = columns[weight]
+        while len(column) > 1:
+            survivors: list[int] = []
+            carries: list[int] = []
+            index = 0
+            while index + 2 < len(column) or (
+                index + 1 < len(column) and len(column) == 2
+            ):
+                if index + 2 < len(column):
+                    a, b, c = column[index], column[index + 1], column[index + 2]
+                    total, carry = full_adder(aig, a, b, c)
+                    index += 3
+                else:
+                    a, b = column[index], column[index + 1]
+                    total = xor_gate(aig, a, b)
+                    carry = aig.add_and(a, b)
+                    index += 2
+                survivors.append(total)
+                carries.append(carry)
+            survivors.extend(column[index:])
+            if carries:
+                if weight + 1 == len(columns):
+                    columns.append([])
+                columns[weight + 1].extend(carries)
+            column = survivors
+        columns[weight] = column
+        weight += 1
+    count = [column[0] if column else CONST0 for column in columns]
+    threshold = num_inputs // 2 + 1
+    thr_bits = [
+        CONST0 ^ 1 if threshold >> bit & 1 else CONST0
+        for bit in range(len(count))
+    ]
+    _, borrow = ripple_sub(aig, count, thr_bits)
+    aig.add_po(borrow ^ 1, "maj")  # no borrow -> count >= threshold
+    return aig

@@ -1,0 +1,48 @@
+"""Benchmark enlargement (the ABC ``double`` command).
+
+The paper's "_nxd" benchmarks are produced by applying ``double`` n
+times: each application duplicates the whole network (fresh PIs and
+POs), doubling the node count while keeping the level count — the
+Figure 7 scaling sweeps depend on exactly this behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_compl, lit_not_cond, lit_var
+
+
+def double(aig: Aig) -> Aig:
+    """One application of ``double``: two disjoint copies, side by side."""
+    out = Aig(f"{aig.name}_2x")
+    for copy in range(2):
+        lit_map: dict[int, int] = {0: 0}
+        for index, var in enumerate(aig.pis):
+            name = aig.pi_name(index)
+            lit_map[var] = out.add_pi(
+                f"{name}_c{copy}" if name else None
+            )
+        for var in aig.and_vars():
+            f0, f1 = aig.fanins(var)
+            n0 = lit_not_cond(lit_map[lit_var(f0)], lit_compl(f0))
+            n1 = lit_not_cond(lit_map[lit_var(f1)], lit_compl(f1))
+            lit_map[var] = out.add_and(n0, n1)
+        for index, po_lit in enumerate(aig.pos):
+            name = aig.po_name(index)
+            out.add_po(
+                lit_not_cond(lit_map[lit_var(po_lit)], lit_compl(po_lit)),
+                f"{name}_c{copy}" if name else None,
+            )
+    return out
+
+
+def enlarge(aig: Aig, times: int) -> Aig:
+    """Apply :func:`double` ``times`` times (the "_<times>xd" suffix)."""
+    if times < 0:
+        raise ValueError("times must be non-negative")
+    result = aig
+    for _ in range(times):
+        result = double(result)
+    base = aig.name
+    result.name = f"{base}_{times}xd" if times else base
+    return result

@@ -1,0 +1,91 @@
+"""The named evaluation suite mirroring Table II's benchmark set.
+
+Every row of the paper's tables has a counterpart here, generated at
+Python scale (10³–10⁴ nodes instead of 10⁶–10⁷ — DESIGN.md documents
+the substitution) but in the same structural regime:
+
+===============  ========================  ============================
+paper benchmark  generator                 regime
+===============  ========================  ============================
+twentythree      MtM random AIG            random functions, mid depth
+twenty           MtM random AIG            random functions, mid depth
+sixteen          MtM random AIG            random functions, mid depth
+div              restoring divider         deep serial recurrence
+hyp              sqrt(a²+b²)               deepest datapath
+mem_ctrl         layered random control    shallow and wide
+log2             LOD + shifter + square    mid-depth, mux-dominated
+multiplier       array multiplier          mid-depth array
+sqrt             restoring square root     deep serial recurrence
+square           array squarer             mid-depth array
+voter            Wallace popcount + cmp    shallow majority logic
+sin              cubic polynomial          multiplier chain
+ac97_ctrl        layered random control    shallow and wide
+vga_lcd          layered random control    shallow and wide
+===============  ========================  ============================
+
+Use :func:`load_benchmark` for one case and :func:`load_suite` for the
+whole set; ``scale`` applies ABC-``double`` enlargement uniformly (the
+paper's "_nxd").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.aig.aig import Aig
+from repro.benchgen.arith import (
+    divider,
+    hypotenuse,
+    isqrt,
+    log2_approx,
+    multiplier,
+    sin_approx,
+    square,
+    voter,
+)
+from repro.benchgen.control import random_control
+from repro.benchgen.enlarge import enlarge
+from repro.benchgen.random_aig import mtm_random
+
+#: Generator for each named benchmark (paper Table II row order).
+SUITE_GENERATORS: dict[str, Callable[[], Aig]] = {
+    "twentythree": lambda: mtm_random(36, 2300, 10, seed=23, locality=48),
+    "twenty": lambda: mtm_random(34, 2000, 10, seed=20, locality=48),
+    "sixteen": lambda: mtm_random(32, 1600, 10, seed=16, locality=48),
+    "div": lambda: divider(12),
+    "hyp": lambda: hypotenuse(11),
+    "mem_ctrl": lambda: random_control(72, 6, 420, seed=1005, name="mem_ctrl"),
+    "log2": lambda: log2_approx(32),
+    "multiplier": lambda: multiplier(15),
+    "sqrt": lambda: isqrt(26),
+    "square": lambda: square(16),
+    "voter": lambda: voter(256),
+    "sin": lambda: sin_approx(11),
+    "ac97_ctrl": lambda: random_control(
+        48, 4, 280, seed=97, name="ac97_ctrl"
+    ),
+    "vga_lcd": lambda: random_control(40, 4, 160, seed=5, name="vga_lcd"),
+}
+
+#: Row order of the paper's tables.
+SUITE_ORDER = list(SUITE_GENERATORS)
+
+
+def load_benchmark(name: str, scale: int = 0) -> Aig:
+    """Generate one named benchmark, enlarged ``scale`` times."""
+    try:
+        generator = SUITE_GENERATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from {SUITE_ORDER}"
+        ) from None
+    aig = generator()
+    return enlarge(aig, scale) if scale else aig
+
+
+def load_suite(
+    scale: int = 0, names: list[str] | None = None
+) -> dict[str, Aig]:
+    """Generate the full suite (or a named subset), in table order."""
+    selected = names if names is not None else SUITE_ORDER
+    return {name: load_benchmark(name, scale) for name in selected}

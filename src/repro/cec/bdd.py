@@ -1,0 +1,280 @@
+"""A reduced ordered binary decision diagram (ROBDD) package.
+
+A second, independent verification engine beside SAT: ROBDDs are
+canonical, so two functions are equivalent iff they reduce to the same
+node — no search involved.  The CEC test-suite cross-checks the SAT
+path against this oracle on small and medium circuits, and the package
+doubles as a general substrate (node counting, satisfy counting,
+cofactoring) of the kind logic-synthesis repos ship.
+
+Implementation: the classic unique-table + memoized ITE formulation
+(Brace/Rudell/Bryant).  Nodes are integers indexing parallel arrays;
+complement edges are *not* used — negation materializes via ITE —
+keeping the invariants simple at modest memory cost.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_compl, lit_var
+
+
+class BddManager:
+    """Shared unique-table manager for one variable order."""
+
+    def __init__(self, num_vars: int, max_nodes: int = 2_000_000) -> None:
+        if num_vars < 0:
+            raise ValueError("variable count must be non-negative")
+        self.num_vars = num_vars
+        self.max_nodes = max_nodes
+        # Node 0 = constant false, node 1 = constant true.
+        self._var = [num_vars, num_vars]  # terminals sort last
+        self._low = [0, 1]
+        self._high = [0, 1]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def false(self) -> int:
+        """The constant-false terminal node."""
+        return 0
+
+    @property
+    def true(self) -> int:
+        """The constant-true terminal node."""
+        return 1
+
+    @property
+    def num_nodes(self) -> int:
+        """Total allocated nodes (terminals included)."""
+        return len(self._var)
+
+    def var_of(self, node: int) -> int:
+        """Decision variable of ``node`` (num_vars for terminals)."""
+        return self._var[node]
+
+    def low(self, node: int) -> int:
+        """Else-child (variable = 0 branch)."""
+        return self._low[node]
+
+    def high(self, node: int) -> int:
+        """Then-child (variable = 1 branch)."""
+        return self._high[node]
+
+    def is_const(self, node: int) -> bool:
+        """True for the two terminal nodes."""
+        return node <= 1
+
+    def variable(self, index: int) -> int:
+        """BDD of the projection function ``x_index``."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"variable {index} out of range")
+        return self._mk(index, 0, 1)
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        if len(self._var) >= self.max_nodes:
+            raise MemoryError(
+                f"BDD node limit ({self.max_nodes}) exceeded"
+            )
+        node = len(self._var)
+        self._var.append(var)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def ite(self, cond: int, then_: int, else_: int) -> int:
+        """If-then-else: the universal connective."""
+        if cond == 1:
+            return then_
+        if cond == 0:
+            return else_
+        if then_ == else_:
+            return then_
+        if then_ == 1 and else_ == 0:
+            return cond
+        key = (cond, then_, else_)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(
+            self._var[cond], self._var[then_], self._var[else_]
+        )
+        result = self._mk(
+            top,
+            self.ite(
+                self._cofactor(cond, top, False),
+                self._cofactor(then_, top, False),
+                self._cofactor(else_, top, False),
+            ),
+            self.ite(
+                self._cofactor(cond, top, True),
+                self._cofactor(then_, top, True),
+                self._cofactor(else_, top, True),
+            ),
+        )
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactor(self, node: int, var: int, positive: bool) -> int:
+        if self._var[node] != var:
+            return node
+        return self._high[node] if positive else self._low[node]
+
+    def and_(self, a: int, b: int) -> int:
+        """Conjunction."""
+        return self.ite(a, b, 0)
+
+    def or_(self, a: int, b: int) -> int:
+        """Disjunction."""
+        return self.ite(a, 1, b)
+
+    def not_(self, a: int) -> int:
+        """Negation."""
+        return self.ite(a, 0, 1)
+
+    def xor(self, a: int, b: int) -> int:
+        """Exclusive or."""
+        return self.ite(a, self.not_(b), b)
+
+    def cofactor(self, node: int, var: int, positive: bool) -> int:
+        """Restrict ``x_var`` to a constant."""
+        if self.is_const(node):
+            return node
+        if self._var[node] > var:
+            return node
+        if self._var[node] == var:
+            return self._high[node] if positive else self._low[node]
+        return self._mk(
+            self._var[node],
+            self.cofactor(self._low[node], var, positive),
+            self.cofactor(self._high[node], var, positive),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def evaluate(self, node: int, assignment: list[bool]) -> bool:
+        """Follow the decision path under a full assignment."""
+        while not self.is_const(node):
+            if assignment[self._var[node]]:
+                node = self._high[node]
+            else:
+                node = self._low[node]
+        return node == 1
+
+    def count_sat(self, node: int) -> int:
+        """Number of satisfying assignments over all manager variables.
+
+        Each edge skipping levels multiplies its child's count by two
+        per skipped level (the standard weighted-path count); terminals
+        carry variable index ``num_vars`` so the arithmetic is uniform.
+        """
+        memo: dict[int, int] = {}
+
+        def walk(current: int) -> int:
+            """Count over the levels strictly below var(current)."""
+            if current == 0:
+                return 0
+            if current == 1:
+                return 1
+            cached = memo.get(current)
+            if cached is not None:
+                return cached
+            var = self._var[current]
+            low, high = self._low[current], self._high[current]
+            result = (walk(low) << (self._var[low] - var - 1)) + (
+                walk(high) << (self._var[high] - var - 1)
+            )
+            memo[current] = result
+            return result
+
+        return walk(node) << self._var[node] if node > 1 else (
+            0 if node == 0 else 1 << self.num_vars
+        )
+
+    def support(self, node: int) -> set[int]:
+        """Variables the function depends on."""
+        seen: set[int] = set()
+        out: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            out.add(self._var[current])
+            stack.append(self._low[current])
+            stack.append(self._high[current])
+        return out
+
+    def size(self, node: int) -> int:
+        """Number of decision nodes reachable from ``node``."""
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            stack.append(self._low[current])
+            stack.append(self._high[current])
+        return len(seen)
+
+
+def build_bdds(
+    aig: Aig, manager: BddManager | None = None
+) -> tuple[BddManager, list[int]]:
+    """Build the BDD of every primary output of ``aig``.
+
+    Returns ``(manager, po_nodes)``; raises ``MemoryError`` when the
+    node limit is exceeded (BDDs of multipliers explode — callers fall
+    back to SAT).
+    """
+    manager = manager or BddManager(aig.num_pis)
+    if manager.num_vars < aig.num_pis:
+        raise ValueError("manager has too few variables")
+    node_of: dict[int, int] = {0: manager.false}
+    for position, var in enumerate(aig.pis):
+        node_of[var] = manager.variable(position)
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        b0 = node_of[lit_var(f0)]
+        if lit_compl(f0):
+            b0 = manager.not_(b0)
+        b1 = node_of[lit_var(f1)]
+        if lit_compl(f1):
+            b1 = manager.not_(b1)
+        node_of[var] = manager.and_(b0, b1)
+    outputs = []
+    for lit in aig.pos:
+        node = node_of[lit_var(lit)]
+        if lit_compl(lit):
+            node = manager.not_(node)
+        outputs.append(node)
+    return manager, outputs
+
+
+def bdd_equivalent(left: Aig, right: Aig) -> bool:
+    """Canonical-form equivalence check (small circuits only)."""
+    if left.num_pis != right.num_pis or left.num_pos != right.num_pos:
+        raise ValueError("interface mismatch")
+    manager = BddManager(left.num_pis)
+    _, left_nodes = build_bdds(left, manager)
+    _, right_nodes = build_bdds(right, manager)
+    return left_nodes == right_nodes

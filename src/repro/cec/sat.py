@@ -1,0 +1,338 @@
+"""A compact CDCL SAT solver.
+
+Implements conflict-driven clause learning with two-watched-literal
+propagation, first-UIP learning, activity-based (VSIDS-style) decisions
+with decay, geometric restarts and an optional conflict budget.  It is
+the proof engine behind combinational equivalence checking
+(:mod:`repro.cec.equivalence`): queries produced by SAT sweeping are
+small and local, which is the regime this solver is sized for.
+
+Variables are positive integers; literals are signed integers in the
+DIMACS convention (``-v`` is the negation of ``v``).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class SatResult(Enum):
+    """Verdict of a solve call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class SatSolver:
+    """CDCL solver over clauses added with :meth:`add_clause`."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: list[list[int]] = []
+        self._watches: dict[int, list[int]] = {}
+        self._assign: list[int] = [0]  # 1 true, -1 false, 0 unassigned
+        self._level: list[int] = [0]
+        self._reason: list[int] = [-1]  # clause index or -1
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._activity: list[float] = [0.0]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._unsat = False
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its index (>= 1)."""
+        self._num_vars += 1
+        self._assign.append(0)
+        self._level.append(0)
+        self._reason.append(-1)
+        self._activity.append(0.0)
+        return self._num_vars
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Allocate variables until ``num_vars`` exist."""
+        while self._num_vars < num_vars:
+            self.new_var()
+
+    def add_clause(self, literals: list[int]) -> None:
+        """Add a clause; duplicate literals are merged, tautologies dropped."""
+        seen: set[int] = set()
+        clause: list[int] = []
+        for literal in literals:
+            if literal == 0 or abs(literal) > self._num_vars:
+                raise ValueError(f"invalid literal {literal}")
+            if -literal in seen:
+                return  # tautology
+            if literal in seen:
+                continue
+            seen.add(literal)
+            clause.append(literal)
+        if not clause:
+            self._unsat = True
+            return
+        if len(clause) == 1:
+            # Record as a level-0 fact during solving setup.
+            self._clauses.append(clause)
+            return
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        self._watch(clause[0], index)
+        self._watch(clause[1], index)
+
+    def _watch(self, literal: int, clause_index: int) -> None:
+        self._watches.setdefault(literal, []).append(clause_index)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: list[int] | None = None,
+        conflict_limit: int | None = None,
+    ) -> SatResult:
+        """Run CDCL; returns SAT/UNSAT/UNKNOWN (budget exhausted).
+
+        ``assumptions`` are decisions forced at successive levels;
+        if they conflict, UNSAT is returned (sufficient for CEC usage).
+        """
+        if self._unsat:
+            return SatResult.UNSAT
+        conflicts_at_entry = self.conflicts  # per-call budget baseline
+        self._backtrack(0)
+        # Replay unit clauses at level 0.
+        for clause in self._clauses:
+            if len(clause) == 1:
+                literal = clause[0]
+                value = self._value(literal)
+                if value == -1:
+                    return SatResult.UNSAT
+                if value == 0:
+                    self._enqueue(literal, -1)
+        if self._propagate() >= 0:
+            return SatResult.UNSAT
+        assumptions = assumptions or []
+        restart_budget = 64
+        conflicts_at_restart = 0
+        while True:
+            # Apply pending assumptions, one level each.
+            while len(self._trail_lim) < len(assumptions):
+                literal = assumptions[len(self._trail_lim)]
+                value = self._value(literal)
+                if value == -1:
+                    return SatResult.UNSAT
+                self._trail_lim.append(len(self._trail))
+                if value == 0:
+                    self._enqueue(literal, -1)
+                conflict = self._propagate()
+                if conflict >= 0:
+                    if self._decision_level() <= len(assumptions):
+                        return SatResult.UNSAT
+                    raise AssertionError("unreachable")
+            conflict = self._propagate()
+            if conflict >= 0:
+                self.conflicts += 1
+                conflicts_at_restart += 1
+                if (
+                    conflict_limit is not None
+                    and self.conflicts - conflicts_at_entry >= conflict_limit
+                ):
+                    return SatResult.UNKNOWN
+                if self._decision_level() <= len(assumptions):
+                    return SatResult.UNSAT
+                learned, backjump = self._analyze(conflict)
+                self._backtrack(max(backjump, len(assumptions)))
+                if not self._learn(learned):
+                    return SatResult.UNSAT
+                self._var_inc /= self._var_decay
+                if self._var_inc > 1e100:
+                    self._rescale_activity()
+                continue
+            if conflicts_at_restart >= restart_budget:
+                conflicts_at_restart = 0
+                restart_budget = int(restart_budget * 1.5)
+                self._backtrack(len(assumptions))
+                continue
+            literal = self._pick_branch()
+            if literal == 0:
+                return SatResult.SAT
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(literal, -1)
+
+    def model_value(self, var: int) -> bool:
+        """Value of ``var`` in the satisfying assignment."""
+        return self._assign[var] > 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _value(self, literal: int) -> int:
+        value = self._assign[abs(literal)]
+        return -value if literal < 0 else value
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, literal: int, reason: int) -> None:
+        var = abs(literal)
+        self._assign[var] = 1 if literal > 0 else -1
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(literal)
+
+    def _propagate(self) -> int:
+        """Unit propagation; returns a conflicting clause index or -1."""
+        index = min(self._qhead, len(self._trail))
+        while index < len(self._trail):
+            literal = self._trail[index]
+            index += 1
+            self.propagations += 1
+            falsified = -literal
+            watch_list = self._watches.get(falsified, [])
+            new_list = []
+            conflict = -1
+            position = 0
+            while position < len(watch_list):
+                clause_index = watch_list[position]
+                position += 1
+                clause = self._clauses[clause_index]
+                # Normalize: watched literals are clause[0], clause[1].
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self._value(clause[0]) == 1:
+                    new_list.append(clause_index)
+                    continue
+                moved = False
+                for scan in range(2, len(clause)):
+                    if self._value(clause[scan]) != -1:
+                        clause[1], clause[scan] = clause[scan], clause[1]
+                        self._watch(clause[1], clause_index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_list.append(clause_index)
+                if self._value(clause[0]) == -1:
+                    # Conflict: restore remaining watches and report.
+                    new_list.extend(watch_list[position:])
+                    conflict = clause_index
+                    break
+                self._enqueue(clause[0], clause_index)
+            self._watches[falsified] = new_list
+            if conflict >= 0:
+                self._qhead = index
+                return conflict
+        self._qhead = len(self._trail)
+        return -1
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """First-UIP conflict analysis; returns (learned clause, level)."""
+        learned: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        literal = 0
+        index = len(self._trail) - 1
+        clause = self._clauses[conflict]
+        while True:
+            for clause_literal in clause:
+                var = abs(clause_literal)
+                if clause_literal == literal or seen[var]:
+                    continue
+                if self._assign[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self._level[var] >= self._decision_level():
+                    counter += 1
+                elif self._level[var] > 0:
+                    learned.append(clause_literal)
+            # Walk the trail backwards to the next marked literal.
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            literal = -self._trail[index]
+            var = abs(literal)
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+            clause = self._clauses[reason] if reason >= 0 else []
+            if reason < 0:
+                # Decision reached before counter exhausted — shouldn't
+                # happen with 1UIP, but guard against degenerate cases.
+                break
+        learned[0] = literal
+        backjump = 0
+        if len(learned) > 1:
+            # Second-highest decision level among learned literals.
+            best = 1
+            for position in range(2, len(learned)):
+                if (
+                    self._level[abs(learned[position])]
+                    > self._level[abs(learned[best])]
+                ):
+                    best = position
+            learned[1], learned[best] = learned[best], learned[1]
+            backjump = self._level[abs(learned[1])]
+        return learned, backjump
+
+    def _learn(self, learned: list[int]) -> bool:
+        """Attach a learned clause; False when it contradicts the trail."""
+        if len(learned) == 1:
+            value = self._value(learned[0])
+            if value == 0:
+                self._enqueue(learned[0], -1)
+                return True
+            if value == 1:
+                return True
+            # Contradiction: globally UNSAT only if falsified at level 0.
+            if self._level[abs(learned[0])] == 0:
+                self._unsat = True
+            return False
+        index = len(self._clauses)
+        self._clauses.append(learned)
+        self._watch(learned[0], index)
+        self._watch(learned[1], index)
+        self._enqueue(learned[0], index)
+        return True
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        boundary = self._trail_lim[level]
+        for literal in self._trail[boundary:]:
+            self._assign[abs(literal)] = 0
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._qhead = min(getattr(self, "_qhead", 0), len(self._trail))
+
+    def _pick_branch(self) -> int:
+        best_var = 0
+        best_activity = -1.0
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == 0 and self._activity[var] > best_activity:
+                best_var = var
+                best_activity = self._activity[var]
+        if best_var == 0:
+            return 0
+        return -best_var  # negative-first polarity: good for AND miters
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+
+    def _rescale_activity(self) -> None:
+        for var in range(1, self._num_vars + 1):
+            self._activity[var] *= 1e-100
+        self._var_inc *= 1e-100

@@ -1,0 +1,145 @@
+"""Reproducible calibration of the machine-model constants.
+
+DESIGN.md documents the substitution of the paper's RTX 3090 by an
+analytic cost model.  Two of its constants are physical-ish (CPU
+work-unit cost anchors the time unit); the GPU-side constants are
+*calibrated*: chosen so the geomean accelerations of the default suite
+land in the paper's reported bands (14.8× balancing, 42.7×
+refactoring), while every relative effect — per-benchmark spread,
+deep-vs-shallow behaviour, Table I ratios, the Figure 7 crossover —
+emerges from the recorded kernel traces.
+
+:func:`collect_traces` gathers those traces once; :func:`calibrate`
+grid-searches constants against them and returns the best
+:class:`~repro.parallel.machine.MachineConfig`.  The shipped defaults
+in ``MachineConfig`` were produced by exactly this procedure; the test
+suite re-runs a coarse calibration to guarantee the procedure still
+reproduces them to within tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.algorithms.par_balance import par_balance
+from repro.algorithms.seq_balance import seq_balance
+from repro.algorithms.seq_refactor import seq_refactor
+from repro.algorithms.sequences import gpu_refactor_repeated
+from repro.benchgen.suite import load_suite
+from repro.experiments.metrics import geomean
+from repro.parallel.machine import (
+    KernelRecord,
+    MachineConfig,
+    ParallelMachine,
+    SeqMeter,
+)
+
+#: The paper's geomean acceleration targets (Table II).
+TARGET_BALANCE_ACCEL = 14.8
+TARGET_REFACTOR_ACCEL = 42.7
+
+#: Suite subset used for calibration (one per regime, fast to run).
+CALIBRATION_NAMES = [
+    "twentythree", "div", "hyp", "mem_ctrl", "log2",
+    "multiplier", "sqrt", "voter", "sin", "vga_lcd",
+]
+
+
+@dataclass
+class Trace:
+    """Recorded work profiles of one benchmark, both engines."""
+
+    name: str
+    balance_seq_work: int
+    balance_records: list
+    refactor_seq_work: int
+    refactor_records: list
+
+
+def collect_traces(names: list[str] | None = None) -> list[Trace]:
+    """Run the four calibration passes per benchmark, keep the traces."""
+    traces = []
+    for name, aig in load_suite(0, names or CALIBRATION_NAMES).items():
+        meter_b = SeqMeter()
+        seq_balance(aig, meter=meter_b)
+        machine_b = ParallelMachine()
+        par_balance(aig, machine=machine_b)
+        meter_rf = SeqMeter()
+        seq_refactor(aig, meter=meter_rf)
+        machine_rf = ParallelMachine()
+        gpu_refactor_repeated(aig, machine=machine_rf)
+        traces.append(
+            Trace(
+                name,
+                meter_b.work,
+                machine_b.records,
+                meter_rf.work,
+                machine_rf.records,
+            )
+        )
+    return traces
+
+
+def replay_time(records: list, config: MachineConfig) -> float:
+    """Modeled time of a recorded trace under different constants."""
+    total = 0.0
+    for record in records:
+        if isinstance(record, KernelRecord):
+            total += record.time(config)
+        else:
+            total += record.work * config.t_cpu_op
+    return total
+
+
+def accelerations(
+    traces: list[Trace], config: MachineConfig
+) -> tuple[float, float]:
+    """(geomean balance accel, geomean refactor accel) under config."""
+    balance = []
+    refactor = []
+    for trace in traces:
+        balance.append(
+            trace.balance_seq_work
+            * config.t_cpu_op
+            / replay_time(trace.balance_records, config)
+        )
+        refactor.append(
+            trace.refactor_seq_work
+            * config.t_cpu_op
+            / replay_time(trace.refactor_records, config)
+        )
+    return geomean(balance), geomean(refactor)
+
+
+def calibrate(
+    traces: list[Trace],
+    launch_grid: tuple[float, ...] = (2e-6, 4e-6, 6e-6, 1e-5),
+    thread_grid: tuple[float, ...] = (1e-8, 2e-8, 4e-8),
+    throughput_grid: tuple[float, ...] = (2e9, 6e9, 2e10),
+) -> tuple[MachineConfig, float, float]:
+    """Grid-search constants against the paper's acceleration targets.
+
+    Returns ``(best config, balance accel, refactor accel)``; the score
+    minimized is the squared log-distance to both targets.
+    """
+    base = MachineConfig()
+    best = None
+    for t_launch in launch_grid:
+        for t_thread in thread_grid:
+            for throughput in throughput_grid:
+                config = MachineConfig(
+                    gpu_throughput=throughput,
+                    t_gpu_thread_op=t_thread,
+                    t_launch=t_launch,
+                    t_cpu_op=base.t_cpu_op,
+                )
+                accel_b, accel_rf = accelerations(traces, config)
+                score = (
+                    math.log(accel_b / TARGET_BALANCE_ACCEL) ** 2
+                    + math.log(accel_rf / TARGET_REFACTOR_ACCEL) ** 2
+                )
+                if best is None or score < best[0]:
+                    best = (score, config, accel_b, accel_rf)
+    assert best is not None
+    return best[1], best[2], best[3]

@@ -1,0 +1,85 @@
+"""Metrics and formatting helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; the aggregation the paper's tables report."""
+    if not values:
+        raise ValueError("geomean of an empty sequence")
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geomean requires positive values, got {value}")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def safe_ratio(numerator: float, denominator: float) -> float:
+    """Ratio guarded against zero denominators (degenerate circuits)."""
+    if denominator == 0:
+        return 1.0 if numerator == 0 else float("inf")
+    return numerator / denominator
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render rows as a fixed-width text table (paper-style output)."""
+    texts = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in texts:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    ]
+    lines.append("  ".join("-" * width for width in widths))
+    for row in texts:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "x",
+) -> str:
+    """Horizontal ASCII bar chart (the text rendition of a figure).
+
+    Bars scale linearly to the maximum value; a ``|`` marker column at
+    1.0 shows the break-even line when it falls inside the plot (the
+    Figure 7 crossover).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return "(no data)"
+    peak = max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    marker = round(1.0 / peak * width) if peak >= 1.0 else None
+    lines = []
+    for label, value in zip(labels, values):
+        length = round(value / peak * width)
+        bar = list("#" * length + " " * (width - length))
+        if marker is not None and 0 < marker < width:
+            bar[marker] = "|" if bar[marker] == " " else bar[marker]
+        lines.append(
+            f"{label.ljust(label_width)}  {''.join(bar)} {value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Compact scientific-ish rendering of a modeled time."""
+    if seconds >= 100:
+        return f"{seconds:.0f}"
+    if seconds >= 1:
+        return f"{seconds:.2f}"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}m"
+    return f"{seconds * 1e6:.1f}u"

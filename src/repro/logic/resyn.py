@@ -1,0 +1,109 @@
+"""Cone resynthesis: truth table → ISOP → factoring → AND-inverter logic.
+
+This is the per-cone resynthesis pipeline shared by sequential and
+parallel refactoring (paper, Section III-B: one GPU thread runs exactly
+this per identified cone).  Both polarities of the function are
+factored and the cheaper factored form wins, mirroring ABC's practice
+of resynthesizing whichever of f / f' factors better.
+"""
+
+from __future__ import annotations
+
+from repro.logic.factor import (
+    FactorNode,
+    count_factored_ands,
+    factor_cover,
+    factored_to_aig,
+)
+from repro.logic.isop import isop
+from repro.logic.truth import full_mask, tt_support
+
+
+class ResynPlan:
+    """A chosen implementation for a cone function.
+
+    Attributes
+    ----------
+    tree:
+        Factored form of the implemented polarity.
+    output_neg:
+        True when the tree realizes the complement of the requested
+        function (the built root literal must then be inverted).
+    est_ands:
+        Predicted number of fresh 2-input ANDs (:func:`count_factored_ands`
+        of the tree) — the new-cone size of the paper's gain lower bound.
+    support:
+        Cut variables the function actually depends on; leaves outside
+        this set would become dangling after replacement (Section III-F).
+    work:
+        Unit-work estimate for the cost model (SOP cubes + literals
+        processed).
+    """
+
+    __slots__ = ("tree", "output_neg", "est_ands", "support", "work")
+
+    def __init__(
+        self,
+        tree: FactorNode,
+        output_neg: bool,
+        est_ands: int,
+        support: list[int],
+        work: int,
+    ) -> None:
+        self.tree = tree
+        self.output_neg = output_neg
+        self.est_ands = est_ands
+        self.support = support
+        self.work = work
+
+
+#: Covers beyond this many cubes are not factored (XOR-dominated cone
+#: functions explode in SOP form; ABC's refactoring bails out alike).
+MAX_RESYN_CUBES = 128
+
+
+def plan_resynthesis(
+    table: int, num_vars: int, max_cubes: int = MAX_RESYN_CUBES
+) -> ResynPlan | None:
+    """Factor ``table`` (trying both polarities) and report the plan.
+
+    Returns None when both polarities exceed ``max_cubes`` product
+    terms — the cone is left untouched by the caller.
+    """
+    support = tt_support(table, num_vars)
+    pos_cover = isop(table, num_vars)
+    neg_cover = isop(table ^ full_mask(num_vars), num_vars)
+    if min(len(pos_cover), len(neg_cover)) > max_cubes:
+        return None
+    if len(pos_cover) > max_cubes:
+        return _plan_single(neg_cover, True, support)
+    if len(neg_cover) > max_cubes:
+        return _plan_single(pos_cover, False, support)
+    pos_tree = factor_cover(pos_cover)
+    neg_tree = factor_cover(neg_cover)
+    pos_cost = count_factored_ands(pos_tree)
+    neg_cost = count_factored_ands(neg_tree)
+    # Work in probe-equivalent units: truth tables cost one unit per
+    # 64-bit word, ISOP/factoring one unit per cube literal.
+    work = (
+        sum(len(cube) + 1 for cube in pos_cover)
+        + sum(len(cube) + 1 for cube in neg_cover)
+        + max(1, (1 << num_vars) >> 6)
+    )
+    if neg_cost < pos_cost:
+        return ResynPlan(neg_tree, True, neg_cost, support, work)
+    return ResynPlan(pos_tree, False, pos_cost, support, work)
+
+
+def _plan_single(cover, output_neg: bool, support: list[int]) -> ResynPlan:
+    """Plan from one polarity when the other polarity's cover blew up."""
+    tree = factor_cover(cover)
+    cost = count_factored_ands(tree)
+    work = sum(len(cube) + 1 for cube in cover)
+    return ResynPlan(tree, output_neg, cost, support, work)
+
+
+def build_plan(plan: ResynPlan, leaf_lits: list[int], add_and) -> int:
+    """Materialize a plan over concrete leaf literals; returns root literal."""
+    literal = factored_to_aig(plan.tree, leaf_lits, add_and)
+    return literal ^ 1 if plan.output_neg else literal

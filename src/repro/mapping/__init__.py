@@ -1,0 +1,27 @@
+"""Technology mapping: k-LUT covering and structural choices."""
+
+from repro.mapping.choices import (
+    MAX_CHOICES_PER_NODE,
+    equivalence_classes,
+    map_with_choices,
+    union_aigs,
+)
+from repro.mapping.lut_map import (
+    DEFAULT_K,
+    Lut,
+    LutNetwork,
+    lut_map,
+    verify_mapping,
+)
+
+__all__ = [
+    "DEFAULT_K",
+    "Lut",
+    "LutNetwork",
+    "MAX_CHOICES_PER_NODE",
+    "equivalence_classes",
+    "lut_map",
+    "map_with_choices",
+    "union_aigs",
+    "verify_mapping",
+]

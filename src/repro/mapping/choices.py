@@ -1,0 +1,177 @@
+"""Structural choice computation (the paper's motivating use case).
+
+Reference [7] of the paper reduces structural bias in technology
+mapping by presenting the mapper with *several* functionally-equivalent
+structures per region — classically obtained by running ``resyn2`` and
+combining the snapshots.  This module implements that flow:
+
+1. :func:`union_aigs` — stack the original and its optimized
+   snapshot(s) over shared PIs (structural hashing already merges
+   identical regions);
+2. :func:`equivalence_classes` — find functionally-equivalent node
+   pairs across the union by simulation signatures confirmed with
+   incremental SAT;
+3. :func:`compute_choices` — package the result for
+   :func:`repro.mapping.lut_map.lut_map`'s ``choices`` parameter.
+
+The end-to-end helper :func:`map_with_choices` reproduces the classic
+result that mapping with choices beats mapping any single snapshot.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_compl, lit_not_cond, lit_var
+from repro.cec.cnf import encode_aig
+from repro.cec.sat import SatResult, SatSolver
+from repro.cec.simulate import random_patterns, simulate_all
+from repro.mapping.lut_map import LutNetwork, lut_map
+
+#: Cap on equivalents recorded per node (mapping cost control).
+MAX_CHOICES_PER_NODE = 3
+
+
+def union_aigs(snapshots: list[Aig]) -> tuple[Aig, list[list[int]]]:
+    """Stack snapshots over shared PIs; returns (union, per-snapshot
+    variable maps from snapshot var to union var).
+
+    The union's POs are taken from the *first* snapshot (they are all
+    equivalent if the snapshots are); every snapshot's internal
+    structure remains present for the mapper to choose from.
+    """
+    if not snapshots:
+        raise ValueError("need at least one snapshot")
+    first = snapshots[0]
+    for other in snapshots[1:]:
+        if other.num_pis != first.num_pis or other.num_pos != first.num_pos:
+            raise ValueError("snapshots must share the PI/PO interface")
+    union = Aig(f"union({first.name})")
+    pi_lits = [union.add_pi(first.pi_name(i)) for i in range(first.num_pis)]
+    var_maps: list[list[int]] = []
+    po_lits: list[int] | None = None
+    for snapshot in snapshots:
+        lit_map: dict[int, int] = {0: 0}
+        for var, lit in zip(snapshot.pis, pi_lits):
+            lit_map[var] = lit
+        for var in snapshot.and_vars():
+            f0, f1 = snapshot.fanins(var)
+            n0 = lit_not_cond(lit_map[lit_var(f0)], lit_compl(f0))
+            n1 = lit_not_cond(lit_map[lit_var(f1)], lit_compl(f1))
+            lit_map[var] = union.add_and(n0, n1)
+        var_maps.append(
+            [lit_map.get(var, 0) for var in range(snapshot.num_vars)]
+        )
+        if po_lits is None:
+            po_lits = [
+                lit_not_cond(lit_map[lit_var(lit)], lit_compl(lit))
+                for lit in snapshot.pos
+            ]
+    assert po_lits is not None
+    for index, lit in enumerate(po_lits):
+        union.add_po(lit, first.po_name(index))
+    # Later snapshots' logic may be PO-unreachable in the union; the
+    # mapper still uses it as cut material, so no re-anchoring needed.
+    return union, var_maps
+
+
+def equivalence_classes(
+    union: Aig,
+    sim_width: int = 512,
+    seed: int = 77,
+    conflict_limit: int = 300,
+    max_pairs: int = 1_000,
+) -> dict[int, list[tuple[int, bool]]]:
+    """SAT-confirmed functional equivalences among the union's nodes.
+
+    Returns ``{var: [(equivalent_var, phase), ...]}`` — symmetric, so
+    whichever member the mapper reaches can borrow the others' cuts.
+    ``phase`` is True for complemented equivalence.
+    """
+    patterns = random_patterns(union.num_pis, sim_width, seed)
+    signatures = simulate_all(union, patterns, sim_width)
+    mask = (1 << sim_width) - 1
+    buckets: dict[int, list[tuple[int, bool]]] = {}
+    for var in union.and_vars():
+        signature = signatures[var] & mask
+        if signature & 1:
+            buckets.setdefault(signature ^ mask, []).append((var, True))
+        else:
+            buckets.setdefault(signature, []).append((var, False))
+
+    solver = SatSolver()
+    mapping = encode_aig(union, solver)
+    base_clauses = len(solver._clauses)
+    choices: dict[int, list[tuple[int, bool]]] = {}
+    proven = 0
+    for members in buckets.values():
+        if len(members) < 2:
+            continue
+        anchor_var, anchor_phase = members[0]
+        for member_var, member_phase in members[1:]:
+            if proven >= max_pairs:
+                break
+            # The incremental solver keeps every learned clause; after
+            # many hard queries the database balloons — re-encode fresh
+            # rather than pay unbounded memory.
+            if len(solver._clauses) > 4 * base_clauses + 50_000:
+                solver = SatSolver()
+                mapping = encode_aig(union, solver)
+            phase = anchor_phase != member_phase
+            if _prove_equal(
+                solver, mapping, anchor_var, member_var, phase,
+                conflict_limit,
+            ):
+                proven += 1
+                _record(choices, anchor_var, member_var, phase)
+                _record(choices, member_var, anchor_var, phase)
+    return choices
+
+
+def _prove_equal(
+    solver: SatSolver,
+    mapping,
+    var_a: int,
+    var_b: int,
+    phase: bool,
+    conflict_limit: int,
+) -> bool:
+    lit_a = mapping.var_map[var_a]
+    lit_b = mapping.var_map[var_b]
+    if phase:
+        lit_b = -lit_b
+    first = solver.solve(
+        assumptions=[lit_a, -lit_b], conflict_limit=conflict_limit
+    )
+    if first is not SatResult.UNSAT:
+        return False
+    second = solver.solve(
+        assumptions=[-lit_a, lit_b], conflict_limit=conflict_limit
+    )
+    return second is SatResult.UNSAT
+
+
+def _record(
+    choices: dict[int, list[tuple[int, bool]]],
+    var: int,
+    other: int,
+    phase: bool,
+) -> None:
+    entry = choices.setdefault(var, [])
+    if len(entry) < MAX_CHOICES_PER_NODE and (other, phase) not in entry:
+        entry.append((other, phase))
+
+
+def map_with_choices(
+    snapshots: list[Aig],
+    k: int = 6,
+    sim_width: int = 512,
+) -> tuple[LutNetwork, Aig]:
+    """Full choice flow: union, equivalence classes, choice mapping.
+
+    Returns ``(mapped network, union AIG)``; verify the mapping with
+    :func:`repro.mapping.lut_map.verify_mapping` against the union.
+    """
+    union, _ = union_aigs(snapshots)
+    choices = equivalence_classes(union, sim_width=sim_width)
+    network = lut_map(union, k=k, choices=choices)
+    return network, union

@@ -1,0 +1,356 @@
+"""Cut-based k-LUT technology mapping.
+
+The paper motivates fast `resyn2` by its role inside mapping flows
+("structural choice computation [7] for technology mapping"); this
+module supplies that downstream consumer: a classic two-phase
+priority-cut FPGA mapper in the style of ABC's ``if``:
+
+1. **Depth phase** — in topological order, every node selects the cut
+   minimizing its arrival time (1 + max leaf arrival), tie-broken by
+   area flow, out of its enumerated k-feasible cuts.
+2. **Area phase** — with required times fixed by the depth phase, nodes
+   re-select the cut with minimum area flow among those that still meet
+   their required time.
+
+The cover is then derived from the POs; each selected cut becomes one
+LUT whose function is the cut cone's truth table.  The result is a
+:class:`LutNetwork`, simulatable for verification against the source
+AIG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aig.aig import Aig
+from repro.aig.cuts import enumerate_cuts
+from repro.aig.literals import lit_compl, lit_var
+from repro.aig.traversal import fanout_counts
+from repro.logic.truth import full_mask, simulate_cone
+
+#: Default LUT input count (k); 6 matches modern FPGA fabrics, the
+#: tests mostly use 4 for exhaustive checking.
+DEFAULT_K = 6
+
+
+@dataclass
+class Lut:
+    """One LUT of the mapped network."""
+
+    output: int              # AIG variable this LUT implements
+    leaves: tuple[int, ...]  # AIG variables feeding it (ordered)
+    table: int               # truth table over the leaves
+    depth: int = 0
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of LUT inputs used."""
+        return len(self.leaves)
+
+
+@dataclass
+class LutNetwork:
+    """A mapped network: LUTs plus PI/PO bindings."""
+
+    num_pis: int
+    pi_vars: list[int]
+    luts: list[Lut] = field(default_factory=list)
+    po_lits: list[int] = field(default_factory=list)  # AIG literals
+
+    @property
+    def num_luts(self) -> int:
+        """LUT count (the area metric)."""
+        return len(self.luts)
+
+    @property
+    def depth(self) -> int:
+        """LUT levels on the longest PI-to-PO path."""
+        return max((lut.depth for lut in self.luts), default=0)
+
+    def evaluate(self, assignment: list[bool]) -> list[bool]:
+        """Evaluate the LUT network on one input assignment."""
+        if len(assignment) != self.num_pis:
+            raise ValueError(
+                f"expected {self.num_pis} inputs, got {len(assignment)}"
+            )
+        values: dict[int, bool] = {0: False}
+        for var, bit in zip(self.pi_vars, assignment):
+            values[var] = bit
+        for lut in self.luts:  # stored in topological order
+            index = 0
+            for position, leaf in enumerate(lut.leaves):
+                if values[leaf]:
+                    index |= 1 << position
+            values[lut.output] = bool(lut.table >> index & 1)
+        out = []
+        for lit in self.po_lits:
+            value = values[lit_var(lit)]
+            out.append(value ^ lit_compl(lit))
+        return out
+
+    def stats(self) -> dict[str, int]:
+        """Area/depth/edge summary of the mapping."""
+        return {
+            "luts": self.num_luts,
+            "depth": self.depth,
+            "edges": sum(lut.num_inputs for lut in self.luts),
+        }
+
+
+def lut_map(
+    aig: Aig,
+    k: int = DEFAULT_K,
+    max_cuts_per_node: int = 8,
+    area_passes: int = 1,
+    choices: dict[int, list[tuple[int, bool]]] | None = None,
+) -> LutNetwork:
+    """Map an AIG into a k-LUT network.
+
+    ``choices`` optionally maps a variable to a list of
+    ``(equivalent_var, phase)`` structural choices (see
+    :mod:`repro.mapping.choices`): the equivalents' cuts join the
+    variable's cut set, letting the mapper pick the best structure per
+    region; ``phase`` records complemented equivalence.
+    """
+    if k < 2 or k > 16:
+        raise ValueError("k must be in 2..16")
+    cuts = enumerate_cuts(aig, k, max_cuts_per_node)
+    # Owner of each borrowed cut: (member var, phase) — the LUT function
+    # must be computed on the member's cone and phase-adjusted.
+    cut_owner: dict[tuple[int, tuple[int, ...]], tuple[int, bool]] = {}
+    if choices:
+        _merge_choice_cuts(cuts, choices, cut_owner, max_cuts_per_node)
+
+    nrefs = fanout_counts(aig)
+    # --- Depth phase -------------------------------------------------
+    arrival: dict[int, int] = {0: 0}
+    area_flow: dict[int, float] = {0: 0.0}
+    best_cut: dict[int, tuple[int, ...]] = {}
+    for var in aig.pis:
+        arrival[var] = 0
+        area_flow[var] = 0.0
+    for var in aig.and_vars():
+        best = None
+        for cut in cuts[var]:
+            if cut == (var,):
+                continue
+            # Borrowed choice cuts may reference topologically later
+            # structure; requiring strictly smaller leaf ids keeps the
+            # final cover acyclic (id order is topological).
+            if any(leaf >= var or leaf not in arrival for leaf in cut):
+                continue
+            depth = 1 + max(arrival[leaf] for leaf in cut)
+            flow = 1.0 + sum(
+                area_flow[leaf] / max(nrefs[leaf], 1) for leaf in cut
+            )
+            key = (depth, flow)
+            if best is None or key < best[0]:
+                best = (key, cut)
+        if best is None:  # only the trivial cut: feed through fanins
+            raise AssertionError(f"node {var} has no non-trivial cut")
+        (depth, flow), cut = best
+        arrival[var] = depth
+        area_flow[var] = flow
+        best_cut[var] = cut
+
+    # --- Required times ---------------------------------------------
+    required, target = _required_times(aig, arrival, best_cut)
+
+    # --- Area phase(s) -------------------------------------------------
+    # Each pass walks in topological order, keeping ``arrival`` equal to
+    # the *actual* depth of the current cover (switches consume slack),
+    # and a node only changes cut when the new one improves area flow
+    # while its actual depth stays within the node's required time —
+    # so the global depth target of the depth phase is never exceeded.
+    for _ in range(max(area_passes, 0)):
+        cover = _cover_vars(aig, best_cut)
+        changed = False
+        for var in aig.and_vars():
+            arrival[var] = 1 + max(
+                arrival[leaf] for leaf in best_cut[var]
+            )
+            area_flow[var] = 1.0 + sum(
+                area_flow[leaf] / max(nrefs[leaf], 1)
+                for leaf in best_cut[var]
+            )
+            if var not in cover:
+                continue
+            budget = required.get(var, target)
+
+            def cost(cut: tuple[int, ...]) -> tuple[int, float]:
+                # Leaves already in the cover (or PIs) are free; a leaf
+                # that would drag a new LUT chain in dominates the key.
+                new_leaves = sum(
+                    1
+                    for leaf in cut
+                    if aig.is_and(leaf) and leaf not in cover
+                )
+                flow = 1.0 + sum(
+                    area_flow[leaf] / max(nrefs[leaf], 1) for leaf in cut
+                )
+                return (new_leaves, flow)
+
+            current_key = cost(best_cut[var])
+            best = None
+            for cut in cuts[var]:
+                if cut == (var,) or cut == best_cut[var]:
+                    continue
+                # Same acyclicity guard as the depth phase: by this
+                # point ``arrival`` covers every node, so the id check
+                # is what actually prevents cyclic covers.
+                if any(leaf >= var or leaf not in arrival for leaf in cut):
+                    continue
+                depth = 1 + max(arrival[leaf] for leaf in cut)
+                if depth > budget:
+                    continue
+                key = cost(cut)
+                if key < current_key and (best is None or key < best[0]):
+                    best = (key, cut, depth)
+            if best is not None:
+                best_cut[var] = best[1]
+                arrival[var] = best[2]
+                changed = True
+        required, target = _required_times(aig, arrival, best_cut)
+        if not changed:
+            break
+
+    return _derive_cover(aig, best_cut, cut_owner)
+
+
+def _merge_choice_cuts(
+    cuts: dict[int, list[tuple[int, ...]]],
+    choices: dict[int, list[tuple[int, bool]]],
+    cut_owner: dict[tuple[int, tuple[int, ...]], tuple[int, bool]],
+    max_cuts_per_node: int,
+) -> None:
+    """Add the cuts of choice siblings, remembering their owners.
+
+    Member cut lists are read from a pristine snapshot: borrowing from
+    an already-merged list would mis-attribute third-party cuts to the
+    member and corrupt the LUT functions.
+    """
+    original = {var: list(cut_list) for var, cut_list in cuts.items()}
+    for var, members in choices.items():
+        merged = list(cuts.get(var, []))
+        for member, phase in members:
+            for cut in original.get(member, []):
+                if cut == (member,) or cut in merged:
+                    continue
+                merged.append(cut)
+                cut_owner[(var, cut)] = (member, phase)
+        merged.sort(key=lambda cut: (len(cut), cut))
+        kept = merged[: max_cuts_per_node + 3]
+        cuts[var] = kept
+        for cut in merged[max_cuts_per_node + 3 :]:
+            cut_owner.pop((var, cut), None)
+
+
+def _cover_vars(
+    aig: Aig, best_cut: dict[int, tuple[int, ...]]
+) -> set[int]:
+    """Variables currently instantiated as LUTs (reachable from POs)."""
+    cover: set[int] = set()
+    stack = [lit_var(lit) for lit in aig.pos if aig.is_and(lit_var(lit))]
+    while stack:
+        var = stack.pop()
+        if var in cover:
+            continue
+        cover.add(var)
+        for leaf in best_cut[var]:
+            if aig.is_and(leaf) and leaf not in cover:
+                stack.append(leaf)
+    return cover
+
+
+def _required_times(
+    aig: Aig,
+    arrival: dict[int, int],
+    best_cut: dict[int, tuple[int, ...]],
+) -> tuple[dict[int, int], int]:
+    """Backward pass: latest arrival each mapped node may have.
+
+    Returns ``(required, target)`` where ``target`` is the cover's
+    current depth (the constraint anchoring the PO required times).
+    """
+    target = 0
+    for lit in aig.pos:
+        target = max(target, arrival.get(lit_var(lit), 0))
+    required: dict[int, int] = {}
+    for lit in aig.pos:
+        var = lit_var(lit)
+        required[var] = min(required.get(var, target), target)
+    for var in reversed(list(aig.and_vars())):
+        if var not in required:
+            continue  # not in the cover
+        room = required[var] - 1
+        for leaf in best_cut.get(var, ()):
+            required[leaf] = min(required.get(leaf, room), room)
+    return required, target
+
+
+def _derive_cover(
+    aig: Aig,
+    best_cut: dict[int, tuple[int, ...]],
+    cut_owner: dict[tuple[int, tuple[int, ...]], tuple[int, bool]],
+) -> LutNetwork:
+    """Walk from the POs instantiating the selected cuts as LUTs."""
+    network = LutNetwork(num_pis=aig.num_pis, pi_vars=aig.pis)
+    visited: set[int] = set(aig.pis) | {0}
+    order: list[int] = []
+    stack = [
+        lit_var(lit) for lit in aig.pos if aig.is_and(lit_var(lit))
+    ]
+    while stack:
+        var = stack[-1]
+        if var in visited:
+            stack.pop()
+            continue
+        # Leaf ids are strictly smaller than the node id (enforced at
+        # cut selection), so this walk cannot cycle.
+        assert all(leaf < var for leaf in best_cut[var]), var
+        pending = [
+            leaf
+            for leaf in best_cut[var]
+            if leaf not in visited
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        visited.add(var)
+        order.append(var)
+    depth_of: dict[int, int] = {0: 0}
+    for var in aig.pis:
+        depth_of[var] = 0
+    for var in order:
+        cut = best_cut[var]
+        owner, phase = cut_owner.get((var, cut), (var, False))
+        table = simulate_cone(aig, owner << 1, list(cut))
+        if phase:
+            table ^= full_mask(len(cut))
+        depth = 1 + max(depth_of[leaf] for leaf in cut)
+        depth_of[var] = depth
+        network.luts.append(Lut(var, tuple(cut), table, depth))
+    for lit in aig.pos:
+        var = lit_var(lit)
+        if var == 0:
+            network.po_lits.append(lit)
+        elif aig.is_pi(var) or var in visited:
+            network.po_lits.append(lit)
+        else:
+            raise AssertionError(f"PO var {var} missing from the cover")
+    return network
+
+
+def verify_mapping(aig: Aig, network: LutNetwork, patterns: int = 64) -> bool:
+    """Random-simulation check: the LUT network matches the AIG."""
+    import random
+
+    from repro.cec.simulate import evaluate
+
+    rng = random.Random(7)
+    for _ in range(patterns):
+        assignment = [rng.random() < 0.5 for _ in range(aig.num_pis)]
+        if evaluate(aig, assignment) != network.evaluate(assignment):
+            return False
+    return True

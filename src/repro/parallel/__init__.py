@@ -1,0 +1,28 @@
+"""Simulated parallel machine, batched hash table, frontier primitives."""
+
+from repro.parallel.frontier import (
+    gather_unique,
+    group_by_level,
+    partition_by_flag,
+)
+from repro.parallel.hashtable import HashTable, NodeHashTable
+from repro.parallel.machine import (
+    HostRecord,
+    KernelRecord,
+    MachineConfig,
+    ParallelMachine,
+    SeqMeter,
+)
+
+__all__ = [
+    "HashTable",
+    "HostRecord",
+    "KernelRecord",
+    "MachineConfig",
+    "NodeHashTable",
+    "ParallelMachine",
+    "SeqMeter",
+    "gather_unique",
+    "group_by_level",
+    "partition_by_flag",
+]

@@ -1,0 +1,62 @@
+"""Frontier arrays and batched compaction primitives.
+
+The collapse stages of parallel refactoring and balancing maintain a
+*frontier*: the roots of the cones/subtrees to process at the next
+level.  After each batch, the cut-node lists produced by all threads
+are gathered, duplicates and PIs filtered out, and the result becomes
+the next frontier (paper, Section III-B).  On the GPU this is a
+gather + sort/unique compaction; here the same operations are provided
+with work counts for the cost model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+
+def gather_unique(
+    candidates: Iterable[int],
+    keep: Callable[[int], bool] | None = None,
+) -> tuple[list[int], int]:
+    """Deduplicate ``candidates`` preserving first-seen order.
+
+    ``keep`` optionally filters items (e.g. dropping PIs and constants).
+    Returns ``(unique_items, work_units)`` where the work models one
+    hash insertion per candidate.
+    """
+    seen: set[int] = set()
+    out: list[int] = []
+    work = 0
+    for item in candidates:
+        work += 1
+        if item in seen:
+            continue
+        seen.add(item)
+        if keep is None or keep(item):
+            out.append(item)
+    return out, work
+
+
+def partition_by_flag(
+    items: list[int], flag: Callable[[int], bool]
+) -> tuple[list[int], list[int], int]:
+    """Stable partition (parallel stream compaction); returns work too."""
+    true_part: list[int] = []
+    false_part: list[int] = []
+    for item in items:
+        if flag(item):
+            true_part.append(item)
+        else:
+            false_part.append(item)
+    return true_part, false_part, len(items)
+
+
+def group_by_level(
+    items: list[int], level_of: Callable[[int], int]
+) -> tuple[list[list[int]], int]:
+    """Bucket items by level, ascending (parallel histogram + scatter)."""
+    buckets: dict[int, list[int]] = {}
+    for item in items:
+        buckets.setdefault(level_of(item), []).append(item)
+    ordered = [buckets[level] for level in sorted(buckets)]
+    return ordered, len(items)

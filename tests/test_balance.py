@@ -1,0 +1,167 @@
+"""Unit tests for sequential and parallel AND-balancing."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.traversal import aig_depth
+from repro.aig.validate import check_aig
+from repro.algorithms.par_balance import par_balance
+from repro.algorithms.seq_balance import (
+    collect_cluster_inputs,
+    combine_delay_optimal,
+    seq_balance,
+    _internal_mask,
+)
+from repro.parallel.machine import ParallelMachine, SeqMeter
+from tests.conftest import assert_equivalent, build_random_aig
+
+
+def unbalanced_chain(width=8):
+    """a0 & a1 & ... built as a left-leaning chain: depth width-1."""
+    aig = Aig("chain")
+    literals = [aig.add_pi() for _ in range(width)]
+    acc = literals[0]
+    for literal in literals[1:]:
+        acc = aig.add_and(acc, literal)
+    aig.add_po(acc)
+    return aig
+
+
+def test_balance_flattens_and_chain():
+    aig = unbalanced_chain(8)
+    assert aig_depth(aig) == 7
+    result = seq_balance(aig)
+    assert result.levels_after == 3  # ceil(log2(8))
+    assert result.nodes_after == 7
+    assert_equivalent(aig, result.aig)
+
+
+def test_par_balance_flattens_and_chain():
+    aig = unbalanced_chain(16)
+    result = par_balance(aig)
+    assert result.levels_after == 4
+    assert_equivalent(aig, result.aig)
+
+
+def test_balance_stops_at_complemented_edges():
+    # !(a & b) & c: the complement edge bounds the cluster, so the
+    # structure (and depth 2) is preserved.
+    aig = Aig()
+    a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+    inner = aig.add_and(a, b)
+    aig.add_po(aig.add_and(inner ^ 1, c))
+    result = seq_balance(aig)
+    assert result.levels_after == 2
+    assert_equivalent(aig, result.aig)
+
+
+def test_balance_uses_arrival_times():
+    # (((a&b)&c) & d) where d arrives late: delay-optimal combination
+    # pairs early signals first.
+    aig = Aig()
+    pis = [aig.add_pi() for _ in range(6)]
+    deep = aig.add_and(aig.add_and(pis[0], pis[1]) ^ 1, pis[2])
+    chain = deep
+    for literal in pis[3:]:
+        chain = aig.add_and(chain, literal)
+    aig.add_po(chain)
+    before = aig_depth(aig)
+    result = seq_balance(aig)
+    assert result.levels_after <= before
+    assert_equivalent(aig, result.aig)
+
+
+def test_internal_mask_rules():
+    aig = Aig()
+    a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+    single = aig.add_and(a, b)       # one non-complemented fanout
+    shared = aig.add_and(a, c)       # two fanouts
+    top1 = aig.add_and(single, shared)
+    top2 = aig.add_and(shared ^ 1, b)
+    aig.add_po(top1)
+    aig.add_po(top2)
+    internal = _internal_mask(aig)
+    assert internal[single >> 1]
+    assert not internal[shared >> 1]  # multi-fanout
+    assert not internal[top1 >> 1]    # drives a PO
+
+
+def test_collect_cluster_inputs():
+    aig = unbalanced_chain(5)
+    internal = _internal_mask(aig)
+    root = aig.pos[0] >> 1
+    inputs, visited = collect_cluster_inputs(aig, root, internal)
+    assert len(inputs) == 5  # the whole chain flattens
+    assert visited == 4
+
+
+def test_combine_delay_optimal_is_huffman():
+    # Delays 0,0,1,3: optimal depth is 4 (0+0->1, 1+1->2, ... ,3+? )
+    aig = Aig()
+    pis = [aig.add_pi() for _ in range(4)]
+    operands = list(zip([0, 0, 1, 3], pis))
+    literal, delay = combine_delay_optimal(operands, aig.add_and)
+    assert delay == 4
+
+
+def test_combine_handles_duplicates_and_constants():
+    aig = Aig()
+    a = aig.add_pi()
+    literal, delay = combine_delay_optimal([(0, a), (0, a)], aig.add_and)
+    assert literal == a and delay == 0
+    literal, delay = combine_delay_optimal(
+        [(0, a), (0, a ^ 1)], aig.add_and
+    )
+    assert literal == 0
+    with pytest.raises(ValueError):
+        combine_delay_optimal([], aig.add_and)
+
+
+def test_balance_never_increases_depth(seeded_aig):
+    result = seq_balance(seeded_aig)
+    assert result.levels_after <= result.levels_before
+    check_aig(result.aig)
+    assert_equivalent(seeded_aig, result.aig)
+
+
+def test_property3_par_levels_equal_seq_levels(seeded_aig):
+    """Property 3: reconstruction order does not change the delay."""
+    seq = seq_balance(seeded_aig)
+    par = par_balance(seeded_aig)
+    assert seq.levels_after == par.levels_after
+    assert_equivalent(seeded_aig, par.aig)
+
+
+def test_par_balance_records_trace():
+    aig = build_random_aig(4)
+    machine = ParallelMachine()
+    par_balance(aig, machine=machine)
+    names = {record.name for record in machine.records}
+    assert "b.collapse" in names
+    assert "b.insertion_pass" in names
+    assert machine.gpu_time() > 0
+
+
+def test_seq_balance_meters_work():
+    aig = build_random_aig(4)
+    meter = SeqMeter()
+    seq_balance(aig, meter=meter)
+    assert meter.work > 0
+    assert "b.rebuild" in meter.sections
+
+
+def test_balance_on_deeper_aig_uses_more_launches():
+    shallow = build_random_aig(6, num_ands=200, locality=200)
+    deep = build_random_aig(6, num_ands=200, locality=2)
+    m_shallow, m_deep = ParallelMachine(), ParallelMachine()
+    par_balance(shallow, machine=m_shallow)
+    par_balance(deep, machine=m_deep)
+    if aig_depth(deep) > aig_depth(shallow) * 2:
+        assert m_deep.num_launches() > m_shallow.num_launches()
+
+
+def test_balance_idempotent_on_levels():
+    aig = build_random_aig(8)
+    once = seq_balance(aig)
+    twice = seq_balance(once.aig)
+    assert twice.levels_after == once.levels_after

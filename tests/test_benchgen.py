@@ -1,0 +1,204 @@
+"""Unit tests for the benchmark circuit generators."""
+
+import math
+import random
+
+import pytest
+
+from repro.aig.validate import check_aig
+from repro.benchgen.arith import (
+    adder,
+    divider,
+    hypotenuse,
+    isqrt,
+    log2_approx,
+    multiplier,
+    sin_approx,
+    square,
+    voter,
+)
+from repro.benchgen.control import decoder, random_control
+from repro.benchgen.enlarge import double, enlarge
+from repro.benchgen.random_aig import mtm_random
+from repro.benchgen.suite import SUITE_ORDER, load_benchmark, load_suite
+from repro.cec.simulate import simulate
+
+
+def word_value(words, lo, width):
+    return sum((words[lo + index] & 1) << index for index in range(width))
+
+
+def input_bits(*values_widths):
+    bits = []
+    for value, width in values_widths:
+        bits.extend((value >> index) & 1 for index in range(width))
+    return bits
+
+
+def test_adder_semantics():
+    aig = adder(8)
+    rng = random.Random(0)
+    for _ in range(25):
+        a, b = rng.randrange(256), rng.randrange(256)
+        words = simulate(aig, input_bits((a, 8), (b, 8)), 1)
+        assert word_value(words, 0, 9) == a + b
+
+
+def test_multiplier_semantics():
+    aig = multiplier(6)
+    rng = random.Random(1)
+    for _ in range(25):
+        a, b = rng.randrange(64), rng.randrange(64)
+        words = simulate(aig, input_bits((a, 6), (b, 6)), 1)
+        assert word_value(words, 0, 12) == a * b
+
+
+def test_square_semantics():
+    aig = square(6)
+    for value in (0, 1, 5, 31, 63):
+        words = simulate(aig, input_bits((value, 6)), 1)
+        assert word_value(words, 0, 12) == value * value
+
+
+def test_divider_semantics():
+    aig = divider(6)
+    rng = random.Random(2)
+    for _ in range(30):
+        n, d = rng.randrange(64), rng.randrange(1, 64)
+        words = simulate(aig, input_bits((n, 6), (d, 6)), 1)
+        assert word_value(words, 0, 6) == n // d
+        assert word_value(words, 6, 6) == n % d
+
+
+def test_isqrt_semantics_exhaustive():
+    aig = isqrt(8)
+    for value in range(256):
+        words = simulate(aig, input_bits((value, 8)), 1)
+        assert word_value(words, 0, 4) == math.isqrt(value)
+
+
+def test_isqrt_rejects_odd_width():
+    with pytest.raises(ValueError):
+        isqrt(7)
+
+
+def test_hypotenuse_semantics():
+    aig = hypotenuse(5)
+    rng = random.Random(3)
+    for _ in range(20):
+        a, b = rng.randrange(32), rng.randrange(32)
+        words = simulate(aig, input_bits((a, 5), (b, 5)), 1)
+        assert word_value(words, 0, aig.num_pos) == math.isqrt(a * a + b * b)
+
+
+def test_voter_semantics():
+    aig = voter(15)
+    rng = random.Random(4)
+    for _ in range(40):
+        bits = [rng.randint(0, 1) for _ in range(15)]
+        words = simulate(aig, bits, 1)
+        assert (words[0] & 1) == int(sum(bits) >= 8)
+
+
+def test_voter_is_shallow():
+    aig = voter(128)
+    stats = aig.stats()
+    assert stats["levels"] < 60
+
+
+def test_deep_generators_are_deep():
+    for aig in (divider(10), isqrt(20)):
+        stats = aig.stats()
+        # Serial digit recurrences: levels comparable to node count/5.
+        assert stats["levels"] > stats["ands"] // 10
+
+
+def test_log2_and_sin_build_clean():
+    for aig in (log2_approx(16), sin_approx(8)):
+        check_aig(aig)
+        assert aig.num_ands > 100
+
+
+def test_log2_exponent_field():
+    aig = log2_approx(8)
+    for value, expected in ((1, 0), (2, 1), (128, 7), (200, 7)):
+        words = simulate(aig, input_bits((value, 8)), 1)
+        assert word_value(words, 0, 3) == expected
+
+
+def test_decoder_one_hot():
+    aig = decoder(3)
+    for value in range(8):
+        words = simulate(aig, input_bits((value, 3)), 1)
+        assert [w & 1 for w in words] == [
+            1 if index == value else 0 for index in range(8)
+        ]
+
+
+def test_random_control_is_shallow_and_reproducible():
+    one = random_control(32, 4, 100, seed=9)
+    two = random_control(32, 4, 100, seed=9)
+    assert one.num_ands == two.num_ands
+    assert one.stats()["levels"] <= 3 * 4 + 2
+    check_aig(one)
+
+
+def test_mtm_random_hits_node_target():
+    # The observability reduction trees add up to one extra XOR (3
+    # ANDs) per dangling node on top of the requested count.
+    aig = mtm_random(24, 1000, 8, seed=5)
+    check_aig(aig)
+    assert 1000 <= aig.num_ands <= 2200
+
+
+def test_double_duplicates_interface_and_keeps_levels():
+    base = adder(6)
+    doubled = double(base)
+    assert doubled.num_pis == 2 * base.num_pis
+    assert doubled.num_pos == 2 * base.num_pos
+    assert doubled.num_ands == 2 * base.num_ands
+    assert doubled.stats()["levels"] == base.stats()["levels"]
+
+
+def test_double_copies_compute_same_function():
+    base = adder(4)
+    doubled = double(base)
+    rng = random.Random(6)
+    bits = [rng.randint(0, 1) for _ in range(base.num_pis)]
+    words = simulate(doubled, bits + bits, 1)
+    half = base.num_pos
+    assert words[:half] == words[half:]
+
+
+def test_enlarge_scales_exponentially():
+    base = adder(4)
+    big = enlarge(base, 3)
+    assert big.num_ands == base.num_ands * 8
+    assert big.name.endswith("_3xd")
+    with pytest.raises(ValueError):
+        enlarge(base, -1)
+
+
+def test_suite_loads_every_row():
+    suite = load_suite()
+    assert list(suite) == SUITE_ORDER
+    for name, aig in suite.items():
+        check_aig(aig)
+        assert aig.num_ands > 300, name
+
+
+def test_suite_covers_depth_regimes():
+    suite = load_suite()
+    depth = {name: aig.stats()["levels"] for name, aig in suite.items()}
+    # Deep recurrences vs shallow controls, as in the paper's table.
+    assert depth["hyp"] > 5 * depth["mem_ctrl"]
+    assert depth["div"] > 5 * depth["vga_lcd"]
+    assert depth["sqrt"] > depth["multiplier"]
+
+
+def test_load_benchmark_scale_and_errors():
+    small = load_benchmark("vga_lcd")
+    big = load_benchmark("vga_lcd", scale=2)
+    assert big.num_ands == 4 * small.num_ands
+    with pytest.raises(ValueError):
+        load_benchmark("nonexistent")

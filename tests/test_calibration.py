@@ -1,0 +1,71 @@
+"""Tests for the machine-model calibration procedure."""
+
+import pytest
+
+from repro.experiments.calibration import (
+    TARGET_BALANCE_ACCEL,
+    TARGET_REFACTOR_ACCEL,
+    accelerations,
+    calibrate,
+    collect_traces,
+    replay_time,
+)
+from repro.parallel.machine import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def traces():
+    # A small but regime-diverse subset keeps this test quick.
+    return collect_traces(["div", "mem_ctrl", "voter", "log2"])
+
+
+def test_replay_matches_live_recording(traces):
+    """Replaying a trace under the default config reproduces the time
+    the live machine would report."""
+    from repro.parallel.machine import ParallelMachine
+
+    config = MachineConfig()
+    for trace in traces:
+        machine = ParallelMachine(config=config)
+        machine.records = list(trace.balance_records)
+        assert replay_time(trace.balance_records, config) == pytest.approx(
+            machine.total_time()
+        )
+
+
+def test_default_config_is_in_band(traces):
+    """The shipped constants land near the paper's targets."""
+    accel_b, accel_rf = accelerations(traces, MachineConfig())
+    assert TARGET_BALANCE_ACCEL / 3 < accel_b < TARGET_BALANCE_ACCEL * 3
+    assert TARGET_REFACTOR_ACCEL / 3 < accel_rf < TARGET_REFACTOR_ACCEL * 3
+
+
+def test_calibrate_finds_in_band_config(traces):
+    config, accel_b, accel_rf = calibrate(traces)
+    assert TARGET_BALANCE_ACCEL / 4 < accel_b < TARGET_BALANCE_ACCEL * 4
+    assert TARGET_REFACTOR_ACCEL / 4 < accel_rf < TARGET_REFACTOR_ACCEL * 4
+    assert config.t_launch > 0
+
+
+def test_constants_move_accelerations_the_right_way(traces):
+    """More launch overhead lowers acceleration; higher throughput
+    raises it — sanity of the model's partial derivatives."""
+    base = MachineConfig()
+    slow_launch = MachineConfig(
+        gpu_throughput=base.gpu_throughput,
+        t_gpu_thread_op=base.t_gpu_thread_op,
+        t_launch=base.t_launch * 100,
+        t_cpu_op=base.t_cpu_op,
+    )
+    fast_device = MachineConfig(
+        gpu_throughput=base.gpu_throughput * 100,
+        t_gpu_thread_op=base.t_gpu_thread_op / 100,
+        t_launch=base.t_launch,
+        t_cpu_op=base.t_cpu_op,
+    )
+    for trace_accels in (accelerations,):
+        accel_base = trace_accels(traces, base)
+        accel_slow = trace_accels(traces, slow_launch)
+        accel_fast = trace_accels(traces, fast_device)
+        assert accel_slow[0] < accel_base[0]
+        assert accel_fast[1] >= accel_base[1]

@@ -1,0 +1,119 @@
+"""Unit tests for cut computation."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.cuts import enumerate_cuts, reconv_cut
+from repro.aig.literals import lit_var
+from repro.aig.traversal import cone_nodes
+from tests.conftest import build_random_aig
+
+
+def test_reconv_cut_of_simple_node():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    node = aig.add_and(a, b)
+    aig.add_po(node)
+    cut = reconv_cut(aig, node >> 1, 4)
+    assert cut.leaves == {a >> 1, b >> 1}
+    assert cut.cone == {node >> 1}
+
+
+def test_reconv_cut_expands_reconvergence():
+    # f = (a & b) & (a & c): expanding both fanins yields cut {a, b, c}.
+    aig = Aig()
+    a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+    left = aig.add_and(a, b)
+    right = aig.add_and(a, c)
+    top = aig.add_and(left, right)
+    aig.add_po(top)
+    cut = reconv_cut(aig, top >> 1, 3)
+    assert cut.leaves == {a >> 1, b >> 1, c >> 1}
+    assert cut.cone == {left >> 1, right >> 1, top >> 1}
+
+
+def test_reconv_cut_respects_size_limit():
+    aig = build_random_aig(5, num_ands=80)
+    for limit in (2, 4, 8, 12):
+        for root in list(aig.and_vars())[-10:]:
+            cut = reconv_cut(aig, root, limit)
+            assert len(cut.leaves) <= limit
+
+
+def test_reconv_cut_is_a_valid_cut():
+    aig = build_random_aig(9, num_ands=80)
+    for root in list(aig.and_vars())[-15:]:
+        cut = reconv_cut(aig, root, 8)
+        # cone_nodes raises if some PI-to-root path avoids the leaves.
+        cone = cone_nodes(aig, root, cut.leaves)
+        assert cone == cut.cone
+
+
+def test_reconv_cut_expandable_predicate_blocks():
+    aig = Aig()
+    a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+    left = aig.add_and(a, b)
+    top = aig.add_and(left, c)
+    aig.add_po(top)
+    cut = reconv_cut(
+        aig, top >> 1, 8, expandable=lambda var, cone: False
+    )
+    assert cut.leaves == {left >> 1, c >> 1}
+    assert cut.cone == {top >> 1}
+
+
+def test_reconv_cut_rejects_tiny_limit():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    node = aig.add_and(a, b)
+    with pytest.raises(ValueError):
+        reconv_cut(aig, node >> 1, 1)
+
+
+def test_enumerate_cuts_contains_trivial_cut():
+    aig = build_random_aig(2, num_ands=40)
+    cuts = enumerate_cuts(aig, 4)
+    for var in aig.and_vars():
+        assert (var,) in cuts[var]
+
+
+def test_enumerate_cuts_respects_k():
+    aig = build_random_aig(2, num_ands=40)
+    cuts = enumerate_cuts(aig, 4)
+    for var in aig.and_vars():
+        for cut in cuts[var]:
+            assert len(cut) <= 4
+
+
+def test_enumerate_cuts_are_valid_cuts():
+    aig = build_random_aig(4, num_ands=40)
+    cuts = enumerate_cuts(aig, 4)
+    for var in list(aig.and_vars())[-10:]:
+        for cut in cuts[var]:
+            if cut == (var,):
+                continue
+            cone_nodes(aig, var, set(cut))  # raises when invalid
+
+
+def test_enumerate_cuts_no_dominated_cut():
+    aig = build_random_aig(6, num_ands=40)
+    cuts = enumerate_cuts(aig, 4)
+    for var in aig.and_vars():
+        non_trivial = [set(c) for c in cuts[var] if c != (var,)]
+        for i, cut_a in enumerate(non_trivial):
+            for j, cut_b in enumerate(non_trivial):
+                if i != j:
+                    assert not cut_a < cut_b, (var, cut_a, cut_b)
+
+
+def test_enumerate_cuts_respects_budget():
+    aig = build_random_aig(8, num_ands=60)
+    cuts = enumerate_cuts(aig, 4, max_cuts_per_node=3)
+    for var in aig.and_vars():
+        assert len(cuts[var]) <= 4  # trivial + 3
+
+
+def test_enumerate_cuts_rejects_k1():
+    aig = build_random_aig(1, num_ands=10)
+    with pytest.raises(ValueError):
+        enumerate_cuts(aig, 1)

@@ -1,0 +1,105 @@
+"""Unit tests for de-duplication and dangling-node removal (III-F)."""
+
+from repro.aig.aig import Aig
+from repro.aig.validate import check_aig
+from repro.algorithms.dedup import dedup_and_dangling
+from repro.parallel.machine import ParallelMachine
+from tests.conftest import assert_equivalent
+
+
+def test_removes_structural_duplicates():
+    aig = Aig()
+    a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+    first = aig.add_and(a, b)
+    dup = aig.add_raw_and(a, b)
+    out1 = aig.add_and(first, c)
+    out2 = aig.add_raw_and(dup, c)  # becomes duplicate after level 1
+    aig.add_po(out1)
+    aig.add_po(out2)
+    reference = aig.clone()
+    result = dedup_and_dangling(aig, {})
+    assert result.num_ands == 2
+    check_aig(result)
+    assert_equivalent(reference, result)
+
+
+def test_cascading_duplicates_need_level_order():
+    """Figure 4: merging one pair creates a new duplicate pair above."""
+    aig = Aig()
+    a, b, c, d = (aig.add_pi() for _ in range(4))
+    n2 = aig.add_and(a, b)
+    n5 = aig.add_raw_and(a, b)
+    n3 = aig.add_and(n2, c)
+    n4 = aig.add_raw_and(n5, c)
+    top1 = aig.add_and(n3, d)
+    top2 = aig.add_raw_and(n4, d)
+    aig.add_po(top1)
+    aig.add_po(top2)
+    reference = aig.clone()
+    result = dedup_and_dangling(aig, {})
+    assert result.num_ands == 3
+    assert_equivalent(reference, result)
+
+
+def test_removes_dangling_mffc():
+    aig = Aig()
+    a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+    keep = aig.add_and(a, b)
+    dead_inner = aig.add_and(b, c)
+    aig.add_and(dead_inner, a)  # dangling root with an internal node
+    aig.add_po(keep)
+    reference = aig.clone()
+    result = dedup_and_dangling(aig, {})
+    assert result.num_ands == 1
+    assert_equivalent(reference, result)
+
+
+def test_resolves_aliases_before_hashing():
+    aig = Aig()
+    a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+    old = aig.add_and(a, b)
+    user1 = aig.add_and(old, c)
+    replacement = aig.add_and(a ^ 1, b ^ 1)
+    user2 = aig.add_raw_and(replacement ^ 1, c)
+    aig.add_po(user1)
+    aig.add_po(user2)
+    # Alias old -> !replacement makes user1 and user2 duplicates.
+    alias = {old >> 1: replacement ^ 1}
+    result = dedup_and_dangling(aig, alias)
+    # user1/user2 merge; old's cone dies.
+    assert result.num_ands == 2
+    assert result.pos[0] == result.pos[1]
+
+
+def test_folds_trivial_nodes_created_by_merging():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    x = aig.add_and(a, b)
+    y = aig.add_raw_and(a, b)
+    # AND(x, y) becomes AND(x, x) = x after dedup.
+    top = aig.add_raw_and(x, y ^ 0)
+    aig.add_po(top)
+    reference = aig.clone()
+    result = dedup_and_dangling(aig, {})
+    assert result.num_ands == 1
+    assert_equivalent(reference, result)
+
+
+def test_machine_records_dedup_tag():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    aig.add_po(aig.add_and(a, b))
+    machine = ParallelMachine()
+    machine.set_tag("rf")
+    dedup_and_dangling(aig, {}, machine)
+    assert machine.tag == "rf"  # restored
+    breakdown = machine.breakdown_by_tag()
+    assert "dedup" in breakdown
+
+
+def test_noop_on_clean_aig(seeded_aig):
+    reference = seeded_aig.clone()
+    compacted, _ = seeded_aig.compact()
+    result = dedup_and_dangling(seeded_aig, {})
+    assert result.num_ands == compacted.num_ands
+    assert_equivalent(reference, result)

@@ -1,0 +1,19 @@
+"""Smoke tests: the shipped examples run end to end.
+
+Only the two fast examples run here; ``datapath_optimization`` and
+``scaling_study`` sweep larger circuits and are exercised by the
+benchmark harness instead.
+"""
+
+import runpy
+
+import pytest
+
+
+@pytest.mark.parametrize(
+    "example", ["quickstart", "equivalence_checking"]
+)
+def test_example_runs(example, capsys):
+    runpy.run_path(f"examples/{example}.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "equivalen" in out  # each example reports a CEC verdict

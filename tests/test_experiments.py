@@ -1,0 +1,116 @@
+"""Unit tests for the experiment drivers (tables and figures)."""
+
+import pytest
+
+from repro.experiments.metrics import (
+    format_seconds,
+    format_table,
+    geomean,
+    safe_ratio,
+)
+from repro.experiments.tables import (
+    run_fig7,
+    run_fig8,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+#: Tiny subset keeping driver tests fast.
+TINY = ["vga_lcd"]
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([5.0]) == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+def test_safe_ratio():
+    assert safe_ratio(4, 2) == 2
+    assert safe_ratio(0, 0) == 1.0
+    assert safe_ratio(3, 0) == float("inf")
+
+
+def test_format_table_aligns():
+    text = format_table(["a", "bbb"], [["x", 1], ["yyyy", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(line.rstrip()) for line in lines[2:])) >= 1
+
+
+def test_format_bar_chart():
+    from repro.experiments.metrics import format_bar_chart
+
+    text = format_bar_chart(["a", "bb"], [0.5, 2.0], width=20)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("#") == 20  # the max fills the width
+    assert lines[0].count("#") == 5
+    assert "|" in lines[0]  # break-even marker inside the short bar
+    assert "2.00x" in lines[1]
+    with pytest.raises(ValueError):
+        format_bar_chart(["a"], [1.0, 2.0])
+    assert format_bar_chart([], []) == "(no data)"
+
+
+def test_format_seconds_ranges():
+    assert format_seconds(123.0) == "123"
+    assert format_seconds(1.5) == "1.50"
+    assert format_seconds(0.002).endswith("m")
+    assert format_seconds(1e-5).endswith("u")
+
+
+def test_table1_shape():
+    result = run_table1(names=TINY)
+    norm = result["normalized"]
+    assert norm["rw"] == pytest.approx(1.0)
+    # The proposed framework's sequential part is smaller than
+    # adopting [9]'s sequential replacement — the paper's headline.
+    assert norm["rf_proposed"] < norm["rf_seq_replace"]
+    assert "Norm. seq. time" in result["text"]
+
+
+def test_table2_shape():
+    result = run_table2(names=TINY, rf_passes=1)
+    assert len(result["rows"]) == 1
+    row = result["rows"][0]
+    # Balancing levels match between engines (Property 3).
+    assert row["gpu_b_levels"] == row["abc_b_levels"]
+    summary = result["summary"]
+    assert summary["b_levels"] == pytest.approx(1.0)
+    assert summary["b_accel"] > 0
+    assert "Geomean" in result["text"]
+
+
+def test_table2_zero_gain_variant():
+    result = run_table2(names=TINY, rf_passes=1, zero_gain=True)
+    assert "drf -z" in result["text"]
+
+
+def test_table3_shape():
+    result = run_table3(names=TINY, scripts=("rf_resyn",))
+    row = result["rows"][0]
+    assert row["gpu_rf_resyn"]["ands"] <= row["nodes"]
+    assert row["abc_rf_resyn"]["ands"] <= row["nodes"]
+    assert result["summary"]["rf_resyn_accel"] > 0
+    assert "rf_resyn" in result["text"]
+
+
+def test_fig7_series_monotone_vs_size():
+    result = run_fig7(base_names=["vga_lcd"], scales=[0, 2])
+    points = result["series"]["vga_lcd"]
+    assert points[0]["nodes"] < points[1]["nodes"]
+    # The paper's curve: acceleration grows with problem size.
+    assert points[1]["accel"] > points[0]["accel"]
+
+
+def test_fig8_shares_sum_to_one():
+    result = run_fig8(names=TINY, scripts=("rf_resyn",))
+    row = result["rows"][0]
+    total_share = sum(row["shares"].values())
+    assert total_share == pytest.approx(1.0, abs=1e-6)
+    assert set(row["shares"]) <= {"b", "rw", "rf", "dedup", "other"}

@@ -1,0 +1,120 @@
+"""Unit and property tests for algebraic factoring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.aig import Aig
+from repro.logic.factor import (
+    FactorNode,
+    count_factored_ands,
+    factor_cover,
+    factored_to_aig,
+)
+from repro.logic.isop import isop
+from repro.logic.sop import cover_num_literals, make_cube
+from repro.logic.truth import full_mask, simulate_cone
+
+
+def tables(num_vars: int):
+    return st.integers(min_value=0, max_value=full_mask(num_vars))
+
+
+def realize(tree: FactorNode, num_vars: int) -> int:
+    """Truth table of a factored form, via a throwaway AIG."""
+    aig = Aig()
+    leaves = [aig.add_pi() for _ in range(num_vars)]
+    literal = factored_to_aig(tree, leaves, aig.add_and)
+    if literal <= 1:
+        return 0 if literal == 0 else full_mask(num_vars)
+    return simulate_cone(aig, literal, [leaf >> 1 for leaf in leaves])
+
+
+def test_factor_constants():
+    assert factor_cover([]).kind == "const0"
+    assert factor_cover([frozenset()]).kind == "const1"
+
+
+def test_factor_single_cube():
+    tree = factor_cover([make_cube([0, 2])])
+    assert realize(tree, 2) == 0b1000
+
+
+def test_factor_extracts_common_literal():
+    # ab + ac  ->  a(b + c): 5 literals down to 3.
+    cover = [make_cube([0, 2]), make_cube([0, 4])]
+    tree = factor_cover(cover)
+    assert tree.num_literals() == 3
+    assert realize(tree, 3) == (0b10001000 | 0b10100000)
+
+
+def test_factor_kernel_extraction():
+    # ac + ad + bc + bd = (a + b)(c + d): 8 literals down to 4.
+    cover = [
+        make_cube([0, 4]), make_cube([0, 6]),
+        make_cube([2, 4]), make_cube([2, 6]),
+    ]
+    tree = factor_cover(cover)
+    assert tree.num_literals() == 4
+    assert realize(tree, 4) == realize(
+        FactorNode.or_([FactorNode.and_([FactorNode.lit(a), FactorNode.lit(c)])
+                        for a in (0, 2) for c in (4, 6)]),
+        4,
+    )
+
+
+def test_factored_never_more_literals_than_sop():
+    import random
+
+    rng = random.Random(4)
+    for _ in range(60):
+        table = rng.getrandbits(16)
+        cover = isop(table, 4)
+        tree = factor_cover(cover)
+        assert tree.num_literals() <= cover_num_literals(cover)
+
+
+@settings(max_examples=120, deadline=None)
+@given(table=tables(4))
+def test_factoring_preserves_function_4vars(table):
+    tree = factor_cover(isop(table, 4))
+    assert realize(tree, 4) == table
+
+
+@settings(max_examples=30, deadline=None)
+@given(table=tables(6))
+def test_factoring_preserves_function_6vars(table):
+    tree = factor_cover(isop(table, 6))
+    assert realize(tree, 6) == table
+
+
+@settings(max_examples=60, deadline=None)
+@given(table=tables(4))
+def test_count_factored_ands_matches_fresh_build(table):
+    """The predicted AND count bounds the strash-free build."""
+    tree = factor_cover(isop(table, 4))
+    counted = count_factored_ands(tree)
+    aig = Aig()
+    leaves = [aig.add_pi() for _ in range(4)]
+    factored_to_aig(tree, leaves, aig.add_and)
+    assert aig.num_ands <= counted
+
+
+def test_node_flattening():
+    nested = FactorNode.and_(
+        [FactorNode.lit(0), FactorNode.and_([FactorNode.lit(2), FactorNode.lit(4)])]
+    )
+    assert nested.kind == "and"
+    assert len(nested.children) == 3
+
+
+def test_or_identity_and_absorber():
+    assert FactorNode.or_([]).kind == "const0"
+    assert FactorNode.and_([]).kind == "const1"
+    eaten = FactorNode.and_([FactorNode.lit(0), FactorNode("const0")])
+    assert eaten.kind == "const0"
+
+
+def test_to_string_renders():
+    tree = factor_cover([make_cube([0, 2]), make_cube([0, 5])])
+    text = tree.to_string()
+    assert "a" in text and "+" in text

@@ -1,0 +1,45 @@
+"""Unit tests for frontier/compaction primitives."""
+
+from repro.parallel.frontier import (
+    gather_unique,
+    group_by_level,
+    partition_by_flag,
+)
+
+
+def test_gather_unique_preserves_order():
+    items, work = gather_unique([3, 1, 3, 2, 1, 5])
+    assert items == [3, 1, 2, 5]
+    assert work == 6
+
+
+def test_gather_unique_filters():
+    items, _ = gather_unique([4, 5, 6, 7], keep=lambda x: x % 2 == 0)
+    assert items == [4, 6]
+
+
+def test_gather_unique_filter_applies_once():
+    seen = []
+
+    def keep(item):
+        seen.append(item)
+        return True
+
+    gather_unique([1, 1, 1, 2], keep=keep)
+    assert seen == [1, 2]
+
+
+def test_partition_by_flag():
+    true_part, false_part, work = partition_by_flag(
+        [1, 2, 3, 4], lambda x: x > 2
+    )
+    assert true_part == [3, 4]
+    assert false_part == [1, 2]
+    assert work == 4
+
+
+def test_group_by_level():
+    levels = {10: 2, 11: 0, 12: 2, 13: 1}
+    buckets, work = group_by_level(list(levels), levels.get)
+    assert buckets == [[11], [13], [10, 12]]
+    assert work == 4

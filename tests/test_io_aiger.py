@@ -1,0 +1,143 @@
+"""Unit tests for AIGER reading and writing."""
+
+import pytest
+
+from repro.aig.io_aiger import (
+    AigerError,
+    dump_aag,
+    parse_aag,
+    read_aag,
+    read_aig_binary,
+    read_aiger,
+    write_aag,
+    write_aig_binary,
+)
+from tests.conftest import assert_equivalent, build_random_aig
+
+
+def test_ascii_roundtrip(tmp_path, seeded_aig):
+    path = tmp_path / "test.aag"
+    write_aag(seeded_aig, path)
+    loaded = read_aag(path)
+    assert loaded.num_pis == seeded_aig.num_pis
+    assert loaded.num_pos == seeded_aig.num_pos
+    assert_equivalent(seeded_aig, loaded)
+
+
+def test_binary_roundtrip(tmp_path, seeded_aig):
+    path = tmp_path / "test.aig"
+    write_aig_binary(seeded_aig, path)
+    loaded = read_aig_binary(path)
+    assert loaded.num_pis == seeded_aig.num_pis
+    assert_equivalent(seeded_aig, loaded)
+
+
+def test_auto_detect(tmp_path, rand_aig):
+    ascii_path = tmp_path / "a.aag"
+    binary_path = tmp_path / "b.aig"
+    write_aag(rand_aig, ascii_path)
+    write_aig_binary(rand_aig, binary_path)
+    assert_equivalent(read_aiger(ascii_path), read_aiger(binary_path))
+
+
+def test_auto_detect_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("hello world\n")
+    with pytest.raises(AigerError):
+        read_aiger(path)
+
+
+def test_symbol_table_roundtrip(tmp_path):
+    from repro.aig.aig import Aig
+
+    aig = Aig("named")
+    a = aig.add_pi("alpha")
+    b = aig.add_pi("beta")
+    aig.add_po(aig.add_and(a, b), "gamma")
+    path = tmp_path / "named.aag"
+    write_aag(aig, path)
+    loaded = read_aag(path)
+    assert loaded.pi_name(0) == "alpha"
+    assert loaded.pi_name(1) == "beta"
+    assert loaded.po_name(0) == "gamma"
+
+
+def test_parse_known_aag():
+    # AND of two inputs, from the AIGER specification.
+    text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n"
+    aig = parse_aag(text)
+    assert aig.num_pis == 2
+    assert aig.num_ands == 1
+    from repro.cec.simulate import evaluate
+
+    assert evaluate(aig, [True, True]) == [True]
+    assert evaluate(aig, [True, False]) == [False]
+
+
+def test_parse_complemented_output():
+    text = "aag 1 1 0 1 0\n2\n3\n"
+    aig = parse_aag(text)
+    from repro.cec.simulate import evaluate
+
+    assert evaluate(aig, [True]) == [False]
+
+
+def test_parse_constant_output():
+    text = "aag 0 0 0 1 0\n0\n"
+    aig = parse_aag(text)
+    from repro.cec.simulate import evaluate
+
+    assert evaluate(aig, []) == [False]
+
+
+def test_parse_rejects_latches():
+    with pytest.raises(AigerError):
+        parse_aag("aag 1 0 1 0 0\n2 3\n")
+
+
+def test_parse_rejects_bad_header():
+    with pytest.raises(AigerError):
+        parse_aag("aig 1 1 0 0 0\n2\n")
+    with pytest.raises(AigerError):
+        parse_aag("")
+
+
+def test_parse_rejects_truncated_body():
+    with pytest.raises(AigerError):
+        parse_aag("aag 3 2 0 1 1\n2\n4\n")
+
+
+def test_parse_rejects_odd_pi_literal():
+    with pytest.raises(AigerError):
+        parse_aag("aag 1 1 0 0 0\n3\n")
+
+
+def test_parse_rejects_undefined_fanin():
+    with pytest.raises(AigerError):
+        parse_aag("aag 3 1 0 1 1\n2\n6\n6 2 8\n")
+
+
+def test_dump_is_reparseable(rand_aig):
+    text = dump_aag(rand_aig)
+    again = parse_aag(text)
+    assert_equivalent(rand_aig, again)
+
+
+def test_dump_has_sorted_and_fanins(rand_aig):
+    text = dump_aag(rand_aig)
+    body = text.splitlines()
+    header = body[0].split()
+    num_pis, num_pos, num_ands = int(header[2]), int(header[4]), int(header[5])
+    start = 1 + num_pis + num_pos
+    for line in body[start : start + num_ands]:
+        out, hi, lo = map(int, line.split())
+        assert out > hi >= lo
+
+
+def test_binary_rejects_truncation(tmp_path, rand_aig):
+    path = tmp_path / "t.aig"
+    write_aig_binary(rand_aig, path)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) - 3])
+    with pytest.raises(AigerError):
+        read_aig_binary(path)

@@ -1,0 +1,161 @@
+"""Unit tests for LUT mapping and structural choices."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.benchgen.arith import adder, multiplier
+from repro.mapping.choices import (
+    equivalence_classes,
+    map_with_choices,
+    union_aigs,
+)
+from repro.mapping.lut_map import Lut, LutNetwork, lut_map, verify_mapping
+from tests.conftest import build_random_aig
+
+
+def test_maps_single_and_gate():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    aig.add_po(aig.add_and(a, b))
+    network = lut_map(aig, k=4)
+    assert network.num_luts == 1
+    assert network.luts[0].table == 0b1000
+    assert verify_mapping(aig, network)
+
+
+def test_adder_maps_correctly_exhaustive():
+    aig = adder(4)
+    network = lut_map(aig, k=4)
+    for value in range(256):
+        bits = [bool(value >> index & 1) for index in range(8)]
+        from repro.cec.simulate import evaluate
+
+        assert network.evaluate(bits) == evaluate(aig, bits), value
+
+
+def test_k6_uses_fewer_luts_than_k3():
+    aig = multiplier(6)
+    small = lut_map(aig, k=3)
+    large = lut_map(aig, k=6)
+    assert large.num_luts < small.num_luts
+    assert large.depth <= small.depth
+    assert verify_mapping(aig, small)
+    assert verify_mapping(aig, large)
+
+
+def test_lut_count_bounded_by_and_count():
+    for seed in range(3):
+        aig = build_random_aig(seed)
+        network = lut_map(aig, k=4)
+        assert network.num_luts <= aig.num_ands
+        assert verify_mapping(aig, network)
+
+
+def test_depth_not_worse_than_ceil_division():
+    """LUT depth can't exceed AIG depth and usually divides it by ~log k."""
+    from repro.aig.traversal import aig_depth
+
+    aig = adder(16)
+    network = lut_map(aig, k=6)
+    assert network.depth <= aig_depth(aig)
+    assert network.depth <= (aig_depth(aig) + 1) // 2 + 1
+
+
+def test_area_pass_never_hurts_depth():
+    aig = multiplier(7)
+    no_area = lut_map(aig, k=5, area_passes=0)
+    with_area = lut_map(aig, k=5, area_passes=2)
+    assert with_area.depth <= no_area.depth
+    assert with_area.num_luts <= no_area.num_luts + 2
+    assert verify_mapping(aig, with_area)
+
+
+def test_po_on_pi_and_constant():
+    aig = Aig()
+    a = aig.add_pi()
+    aig.add_po(a ^ 1)
+    aig.add_po(0)
+    network = lut_map(aig, k=4)
+    assert network.num_luts == 0
+    assert network.evaluate([True]) == [False, False]
+    assert network.evaluate([False]) == [True, False]
+
+
+def test_rejects_bad_k():
+    with pytest.raises(ValueError):
+        lut_map(build_random_aig(0), k=1)
+
+
+def test_evaluate_rejects_bad_width():
+    network = LutNetwork(num_pis=2, pi_vars=[1, 2])
+    with pytest.raises(ValueError):
+        network.evaluate([True])
+
+
+def test_union_shares_pis_and_strash():
+    aig = build_random_aig(4)
+    union, var_maps = union_aigs([aig, aig.clone()])
+    # Identical snapshots collapse completely under structural hashing.
+    assert union.num_ands == aig.compact()[0].num_ands
+    assert len(var_maps) == 2
+
+
+def test_union_rejects_interface_mismatch():
+    small = Aig()
+    small.add_pi()
+    small.add_po(2)
+    with pytest.raises(ValueError):
+        union_aigs([small, build_random_aig(0)])
+
+
+def test_equivalence_classes_find_restructured_pair():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    x = aig.add_and(a, b)
+    y = aig.add_and(aig.add_and(a, b ^ 1) ^ 1, a)  # also a & b
+    aig.add_po(x)
+    aig.add_po(y)
+    choices = equivalence_classes(aig)
+    assert (y >> 1, False) in choices.get(x >> 1, []) or (
+        x >> 1,
+        False,
+    ) in choices.get(y >> 1, [])
+
+
+def test_map_with_choices_verifies_and_matches_best():
+    from repro.algorithms.seq_rewrite import seq_rewrite
+
+    aig = build_random_aig(9, num_ands=150)
+    optimized = seq_rewrite(aig, zero_gain=True).aig
+    network, union = map_with_choices([optimized, aig], k=5)
+    assert verify_mapping(union, network)
+    best_single = min(
+        lut_map(aig, k=5).num_luts, lut_map(optimized, k=5).num_luts
+    )
+    # Choices may win outright; they must stay in the ballpark of the
+    # best single snapshot (the union contains extra choice logic).
+    assert network.num_luts <= int(best_single * 1.2) + 2
+
+
+def test_choice_phase_handling():
+    """Complemented equivalences must flip the borrowed LUT table.
+
+    The XOR and XNOR top nodes are variable-level complements of each
+    other — exactly the phase=True class the borrowing must adjust for.
+    """
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    xor = aig.add_and(aig.add_and(a, b) ^ 1, aig.add_and(a ^ 1, b ^ 1) ^ 1)
+    xnor = aig.add_and(aig.add_and(a, b ^ 1) ^ 1, aig.add_and(a ^ 1, b) ^ 1)
+    c = aig.add_pi()
+    aig.add_po(aig.add_and(xor, c))
+    aig.add_po(aig.add_and(xnor, c ^ 1))
+    choices = equivalence_classes(aig)
+    phased = [
+        (var, others)
+        for var, others in choices.items()
+        if any(phase for _, phase in others)
+    ]
+    assert phased, "expected a complemented equivalence class"
+    network = lut_map(aig, k=4, choices=choices)
+    assert verify_mapping(aig, network)

@@ -1,0 +1,99 @@
+"""Unit and property tests for NPN canonicalization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.aig import Aig
+from repro.logic.npn import (
+    MAX_NPN_VARS,
+    npn_apply,
+    npn_canon,
+    npn_class_count,
+    npn_leaf_assignment,
+)
+from repro.logic.truth import (
+    full_mask,
+    simulate_cone,
+    tt_flip,
+    tt_not,
+    tt_permute,
+)
+
+
+def test_transform_reaches_canon():
+    for table in (0x0000, 0xFFFF, 0xCA35, 0x8000, 0x6996):
+        transform = npn_canon(table, 4)
+        assert npn_apply(transform, table) == transform.canon
+
+
+@settings(max_examples=80, deadline=None)
+@given(table=st.integers(min_value=0, max_value=0xFFFF))
+def test_canon_not_larger_than_original(table):
+    assert npn_canon(table, 4).canon <= table
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    table=st.integers(min_value=0, max_value=0xFF),
+    flips=st.integers(min_value=0, max_value=7),
+    out_neg=st.booleans(),
+    perm_seed=st.integers(min_value=0, max_value=5),
+)
+def test_canon_invariant_under_npn_transforms(
+    table, flips, out_neg, perm_seed
+):
+    """NPN-equivalent functions share one canonical representative."""
+    perms = [(0, 1, 2), (0, 2, 1), (1, 0, 2), (1, 2, 0), (2, 0, 1), (2, 1, 0)]
+    variant = table
+    for index in range(3):
+        if flips >> index & 1:
+            variant = tt_flip(variant, index, 3)
+    variant = tt_permute(variant, perms[perm_seed], 3)
+    if out_neg:
+        variant = tt_not(variant, 3)
+    assert npn_canon(variant, 3).canon == npn_canon(table, 3).canon
+
+
+def test_class_counts_small():
+    # Known NPN class counts: n=0 -> 1, n=1 -> 2, n=2 -> 4.
+    assert npn_class_count(0) == 1
+    assert npn_class_count(1) == 2
+    assert npn_class_count(2) == 4
+
+
+def test_rejects_too_many_vars():
+    with pytest.raises(ValueError):
+        npn_canon(0, MAX_NPN_VARS + 1)
+
+
+def test_rejects_wide_table():
+    with pytest.raises(ValueError):
+        npn_canon(0x1FFFF, 4)
+
+
+def test_leaf_assignment_roundtrip():
+    """Instantiating the canonical structure realizes the original."""
+    from repro.logic.factor import factor_cover, factored_to_aig
+    from repro.logic.isop import isop
+
+    rng = random.Random(11)
+    for _ in range(40):
+        table = rng.getrandbits(16)
+        transform = npn_canon(table, 4)
+        tree = factor_cover(isop(transform.canon, 4))
+        aig = Aig()
+        leaves = [aig.add_pi() for _ in range(4)]
+        inputs, out_neg = npn_leaf_assignment(transform, leaves)
+        literal = factored_to_aig(tree, inputs, aig.add_and)
+        if out_neg:
+            literal ^= 1
+        if literal <= 1:
+            realized = 0 if literal == 0 else full_mask(4)
+        else:
+            realized = simulate_cone(
+                aig, literal, [leaf >> 1 for leaf in leaves]
+            )
+        assert realized == table, hex(table)

@@ -1,0 +1,160 @@
+"""Unit tests for sequential and parallel rewriting and the NPN library."""
+
+from repro.aig.aig import Aig
+from repro.aig.validate import check_aig
+from repro.algorithms.par_rewrite import par_rewrite
+from repro.algorithms.rewrite_lib import (
+    instantiate_template,
+    library_template,
+    match_function,
+)
+from repro.algorithms.seq_rewrite import seq_rewrite
+from repro.logic.npn import npn_canon
+from repro.logic.truth import simulate_cone
+from repro.parallel.machine import ParallelMachine, SeqMeter
+from tests.conftest import assert_equivalent, build_random_aig
+
+
+# ----------------------------------------------------------------------
+# Library
+# ----------------------------------------------------------------------
+
+
+def test_library_template_realizes_canon():
+    import random
+
+    rng = random.Random(3)
+    for _ in range(25):
+        table = rng.getrandbits(16)
+        canon = npn_canon(table, 4).canon
+        template = library_template(canon, 4)
+        if template.pos[0] <= 1:
+            assert canon in (0, 0xFFFF)
+            continue
+        realized = simulate_cone(
+            template, template.pos[0], template.pis
+        )
+        assert realized == canon
+
+
+def test_library_template_is_cached():
+    first = library_template(0x8, 4)
+    second = library_template(0x8, 4)
+    assert first is second
+
+
+def test_instantiate_template_realizes_original():
+    import random
+
+    rng = random.Random(8)
+    for _ in range(25):
+        table = rng.getrandbits(16)
+        transform, template = match_function(table, [0, 1, 2, 3])
+        aig = Aig()
+        leaves = [aig.add_pi() for _ in range(4)]
+        literal = instantiate_template(
+            template, transform, leaves, aig.add_and
+        )
+        if literal <= 1:
+            from repro.logic.truth import full_mask
+
+            assert table in (0, full_mask(4))
+            continue
+        realized = simulate_cone(
+            aig, literal, [leaf >> 1 for leaf in leaves]
+        )
+        assert realized == table
+
+
+# ----------------------------------------------------------------------
+# Sequential rewriting
+# ----------------------------------------------------------------------
+
+
+def test_seq_rewrite_preserves_function(seeded_aig):
+    result = seq_rewrite(seeded_aig)
+    check_aig(result.aig)
+    assert_equivalent(seeded_aig, result.aig)
+
+
+def test_seq_rewrite_never_increases_nodes(seeded_aig):
+    result = seq_rewrite(seeded_aig)
+    assert result.nodes_after <= result.nodes_before
+
+
+def test_seq_rewrite_finds_gains():
+    aig = build_random_aig(31, num_ands=200)
+    result = seq_rewrite(aig)
+    assert result.nodes_after < result.nodes_before
+
+
+def test_seq_rewrite_zero_gain_mode(seeded_aig):
+    strict = seq_rewrite(seeded_aig)
+    zero = seq_rewrite(seeded_aig, zero_gain=True)
+    assert zero.nodes_after <= strict.nodes_after
+    assert_equivalent(seeded_aig, zero.aig)
+
+
+def test_seq_rewrite_collapses_redundant_mux():
+    # mux(s, a, a) == a: rewriting should see through the cut function.
+    aig = Aig()
+    s, a = aig.add_pi(), aig.add_pi()
+    t = aig.add_and(s, a)
+    f = aig.add_and(s ^ 1, a)
+    aig.add_po(aig.add_and(t ^ 1, f ^ 1) ^ 1)
+    result = seq_rewrite(aig, zero_gain=True)
+    assert result.nodes_after <= 1
+    assert_equivalent(aig, result.aig)
+
+
+def test_seq_rewrite_meters_work():
+    meter = SeqMeter()
+    seq_rewrite(build_random_aig(5), meter=meter)
+    assert meter.work > 0
+    assert "rw.cut_enum" in meter.sections
+
+
+# ----------------------------------------------------------------------
+# Parallel rewriting
+# ----------------------------------------------------------------------
+
+
+def test_par_rewrite_preserves_function(seeded_aig):
+    result = par_rewrite(seeded_aig)
+    check_aig(result.aig)
+    assert_equivalent(seeded_aig, result.aig)
+
+
+def test_par_rewrite_never_increases_nodes(seeded_aig):
+    result = par_rewrite(seeded_aig)
+    assert result.nodes_after <= result.nodes_before
+
+
+def test_par_rewrite_zero_gain(seeded_aig):
+    result = par_rewrite(seeded_aig, zero_gain=True)
+    assert result.nodes_after <= result.nodes_before
+    assert_equivalent(seeded_aig, result.aig)
+
+
+def test_par_rewrite_trace_has_match_insert_and_host_parts():
+    machine = ParallelMachine()
+    par_rewrite(build_random_aig(9, num_ands=200), machine=machine)
+    names = {record.name for record in machine.records}
+    assert "rw.match" in names
+    assert "rw.insert" in names
+    assert machine.host_time() > 0  # the sequential replacement loop
+
+
+def test_par_rewrite_without_cleanup(seeded_aig):
+    result = par_rewrite(seeded_aig, run_cleanup=False)
+    assert_equivalent(seeded_aig, result.aig)
+
+
+def test_par_rewrite_quality_tracks_seq():
+    """The committed result cannot be wildly worse than sequential."""
+    aig = build_random_aig(14, num_ands=250)
+    seq = seq_rewrite(aig)
+    par = par_rewrite(aig)
+    assert par.nodes_after <= aig.num_ands
+    # Within 15% of the sequential pass on this class of graphs.
+    assert par.nodes_after <= int(seq.nodes_after * 1.15) + 2

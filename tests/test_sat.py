@@ -1,0 +1,154 @@
+"""Unit and fuzz tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+from repro.cec.sat import SatResult, SatSolver
+
+
+def brute_force(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(
+            any(bits[abs(lit) - 1] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def solve(num_vars, clauses, assumptions=None, limit=None):
+    solver = SatSolver()
+    solver.ensure_vars(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver, solver.solve(assumptions=assumptions, conflict_limit=limit)
+
+
+def test_trivial_sat():
+    _, result = solve(1, [[1]])
+    assert result is SatResult.SAT
+
+
+def test_trivial_unsat():
+    _, result = solve(1, [[1], [-1]])
+    assert result is SatResult.UNSAT
+
+
+def test_empty_clause_is_unsat():
+    solver = SatSolver()
+    solver.add_clause([])
+    assert solver.solve() is SatResult.UNSAT
+
+
+def test_tautology_is_dropped():
+    solver = SatSolver()
+    solver.ensure_vars(1)
+    solver.add_clause([1, -1])
+    assert solver.solve() is SatResult.SAT
+
+
+def test_model_satisfies_clauses():
+    clauses = [[1, 2], [-1, 3], [-2, -3], [2, 3]]
+    solver, result = solve(3, clauses)
+    assert result is SatResult.SAT
+    model = [solver.model_value(v) for v in range(1, 4)]
+    for clause in clauses:
+        assert any(model[abs(lit) - 1] == (lit > 0) for lit in clause)
+
+
+def test_pigeonhole_3_into_2_unsat():
+    # p[i][j]: pigeon i in hole j; vars 1..6.
+    def var(i, j):
+        return i * 2 + j + 1
+
+    clauses = [[var(i, 0), var(i, 1)] for i in range(3)]
+    for j in range(2):
+        for i1 in range(3):
+            for i2 in range(i1 + 1, 3):
+                clauses.append([-var(i1, j), -var(i2, j)])
+    _, result = solve(6, clauses)
+    assert result is SatResult.UNSAT
+
+
+def test_assumptions():
+    solver, result = solve(3, [[1, 2], [-1, 3]], assumptions=[-2])
+    assert result is SatResult.SAT
+    assert solver.model_value(1)
+    assert solver.solve(assumptions=[-1, -2]) is SatResult.UNSAT
+    # Solver is reusable after an assumption conflict.
+    assert solver.solve() is SatResult.SAT
+
+
+def test_incremental_clause_addition():
+    solver = SatSolver()
+    solver.ensure_vars(2)
+    solver.add_clause([1, 2])
+    assert solver.solve() is SatResult.SAT
+    solver.add_clause([-1])
+    solver.add_clause([-2])
+    assert solver.solve() is SatResult.UNSAT
+
+
+def test_conflict_limit_reports_unknown():
+    # A hard pigeonhole instance with a one-conflict budget.
+    def var(i, j):
+        return i * 4 + j + 1
+
+    clauses = [[var(i, j) for j in range(4)] for i in range(5)]
+    for j in range(4):
+        for i1 in range(5):
+            for i2 in range(i1 + 1, 5):
+                clauses.append([-var(i1, j), -var(i2, j)])
+    _, result = solve(20, clauses, limit=1)
+    assert result is SatResult.UNKNOWN
+
+
+def test_fuzz_against_brute_force():
+    rng = random.Random(42)
+    for _ in range(250):
+        num_vars = rng.randint(1, 8)
+        num_clauses = rng.randint(1, 28)
+        clauses = [
+            [
+                rng.choice([1, -1]) * rng.randint(1, num_vars)
+                for _ in range(rng.randint(1, 4))
+            ]
+            for _ in range(num_clauses)
+        ]
+        solver, result = solve(num_vars, clauses)
+        expected = brute_force(num_vars, clauses)
+        assert (result is SatResult.SAT) == expected, clauses
+        if expected:
+            model = [solver.model_value(v) for v in range(1, num_vars + 1)]
+            for clause in clauses:
+                assert any(
+                    model[abs(lit) - 1] == (lit > 0) for lit in clause
+                )
+
+
+def test_fuzz_with_assumptions():
+    rng = random.Random(17)
+    for _ in range(120):
+        num_vars = rng.randint(2, 6)
+        clauses = [
+            [
+                rng.choice([1, -1]) * rng.randint(1, num_vars)
+                for _ in range(rng.randint(1, 3))
+            ]
+            for _ in range(rng.randint(1, 15))
+        ]
+        assumption = rng.choice([1, -1]) * rng.randint(1, num_vars)
+        _, result = solve(num_vars, clauses, assumptions=[assumption])
+        expected = brute_force(num_vars, clauses + [[assumption]])
+        assert (result is SatResult.SAT) == expected, (clauses, assumption)
+
+
+def test_invalid_literal_rejected():
+    import pytest
+
+    solver = SatSolver()
+    solver.ensure_vars(1)
+    with pytest.raises(ValueError):
+        solver.add_clause([0])
+    with pytest.raises(ValueError):
+        solver.add_clause([5])

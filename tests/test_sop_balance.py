@@ -1,0 +1,77 @@
+"""Unit tests for SOP balancing (extension, paper's citation [2])."""
+
+from repro.aig.aig import Aig
+from repro.aig.traversal import aig_depth
+from repro.aig.validate import check_aig
+from repro.algorithms.seq_balance import seq_balance
+from repro.algorithms.sop_balance import seq_sop_balance
+from repro.benchgen.arith import adder, mux_gate
+from tests.conftest import assert_equivalent, build_random_aig
+
+
+def test_preserves_function(seeded_aig):
+    result = seq_sop_balance(seeded_aig)
+    check_aig(result.aig)
+    assert_equivalent(seeded_aig, result.aig)
+
+
+def test_never_increases_depth(seeded_aig):
+    result = seq_sop_balance(seeded_aig)
+    assert result.levels_after <= result.levels_before
+
+
+def test_beats_and_balancing_across_complement_boundaries():
+    """An alternating AND/OR chain: every second edge is complemented,
+    so AND-balancing cannot flatten anything, while SOP balancing
+    rebuilds across the polarity boundaries."""
+    aig = Aig("andorchain")
+    literals = [aig.add_pi() for _ in range(9)]
+    acc = literals[0]
+    for index, literal in enumerate(literals[1:]):
+        if index % 2 == 0:
+            acc = aig.add_and(acc ^ 1, literal ^ 1) ^ 1  # OR step
+        else:
+            acc = aig.add_and(acc, literal)  # AND step
+    aig.add_po(acc)
+    plain = seq_balance(aig)
+    sop = seq_sop_balance(aig)
+    assert plain.levels_after == plain.levels_before  # blocked
+    assert sop.levels_after < plain.levels_after
+    assert_equivalent(aig, sop.aig)
+
+
+def test_mux_chain_depth_reduction():
+    """Serial mux selection chains flatten under SOP balancing."""
+    aig = Aig("muxchain")
+    data = [aig.add_pi() for _ in range(5)]
+    selects = [aig.add_pi() for _ in range(4)]
+    acc = data[0]
+    for sel, value in zip(selects, data[1:]):
+        acc = mux_gate(aig, sel, value, acc)
+    aig.add_po(acc)
+    before = aig_depth(aig)
+    result = seq_sop_balance(aig)
+    assert result.levels_after <= before
+    assert_equivalent(aig, result.aig)
+
+
+def test_adder_depth_not_worse():
+    aig = adder(12)
+    result = seq_sop_balance(aig)
+    assert result.levels_after <= aig_depth(aig)
+    assert_equivalent(aig, result.aig)
+
+
+def test_composes_with_and_balancing():
+    aig = build_random_aig(13, num_ands=150)
+    sop = seq_sop_balance(aig)
+    then_and = seq_balance(sop.aig)
+    assert then_and.levels_after <= sop.levels_after
+    assert_equivalent(aig, then_and.aig)
+
+
+def test_reports_rebuilt_counter():
+    aig = build_random_aig(4, num_ands=150)
+    result = seq_sop_balance(aig)
+    assert "rebuilt" in result.details
+    assert result.details["rebuilt"] >= 0

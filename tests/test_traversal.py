@@ -1,0 +1,132 @@
+"""Unit tests for traversal, levels and fanout computation."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_var
+from repro.aig.traversal import (
+    aig_depth,
+    aig_levels,
+    cone_nodes,
+    fanout_counts,
+    fanout_lists,
+    po_fanout_mask,
+    reverse_topological_order,
+    topological_order,
+    transitive_fanin,
+    transitive_fanout,
+)
+from tests.conftest import build_random_aig
+
+
+@pytest.fixture
+def diamond():
+    # f = (a & b) & (a & c): node 'a' fans out twice.
+    aig = Aig("diamond")
+    a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+    left = aig.add_and(a, b)
+    right = aig.add_and(a, c)
+    top = aig.add_and(left, right)
+    aig.add_po(top)
+    return aig, (a, b, c, left, right, top)
+
+
+def test_levels_basic(diamond):
+    aig, (a, b, c, left, right, top) = diamond
+    levels = aig_levels(aig)
+    assert levels[a >> 1] == 0
+    assert levels[left >> 1] == 1
+    assert levels[top >> 1] == 2
+    assert aig_depth(aig) == 2
+
+
+def test_depth_of_pi_only_aig():
+    aig = Aig()
+    a = aig.add_pi()
+    aig.add_po(a)
+    assert aig_depth(aig) == 0
+
+
+def test_fanout_counts(diamond):
+    aig, (a, b, c, left, right, top) = diamond
+    counts = fanout_counts(aig)
+    assert counts[a >> 1] == 2
+    assert counts[b >> 1] == 1
+    assert counts[left >> 1] == 1
+    assert counts[top >> 1] == 1  # the PO reference
+
+
+def test_double_edge_counts_twice():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    x = aig.add_and(a, b)
+    y = aig.add_and(x, x ^ 1)  # folded to const — build raw instead
+    assert y == 0
+    raw = aig.add_raw_and(x, x ^ 1)
+    counts = fanout_counts(aig)
+    assert counts[x >> 1] == 2
+
+
+def test_fanout_lists(diamond):
+    aig, (a, b, c, left, right, top) = diamond
+    lists = fanout_lists(aig)
+    assert sorted(lists[a >> 1]) == sorted([left >> 1, right >> 1])
+    assert lists[left >> 1] == [top >> 1]
+    assert lists[top >> 1] == []
+
+
+def test_po_fanout_mask(diamond):
+    aig, (a, b, c, left, right, top) = diamond
+    mask = po_fanout_mask(aig)
+    assert mask[top >> 1]
+    assert not mask[left >> 1]
+
+
+def test_topological_orders(diamond):
+    aig, _ = diamond
+    order = topological_order(aig)
+    positions = {var: index for index, var in enumerate(order)}
+    for var in order:
+        for fanin in aig.fanins(var):
+            fvar = lit_var(fanin)
+            if aig.is_and(fvar):
+                assert positions[fvar] < positions[var]
+    assert reverse_topological_order(aig) == order[::-1]
+
+
+def test_transitive_fanin(diamond):
+    aig, (a, b, c, left, right, top) = diamond
+    tfi = transitive_fanin(aig, [top >> 1])
+    assert {a >> 1, b >> 1, c >> 1, left >> 1, right >> 1, top >> 1} <= tfi
+
+
+def test_transitive_fanout(diamond):
+    aig, (a, b, c, left, right, top) = diamond
+    tfo = transitive_fanout(aig, [a >> 1])
+    assert {a >> 1, left >> 1, right >> 1, top >> 1} == tfo
+
+
+def test_cone_nodes(diamond):
+    aig, (a, b, c, left, right, top) = diamond
+    cone = cone_nodes(
+        aig, top >> 1, {left >> 1, right >> 1}
+    )
+    assert cone == {top >> 1}
+    full = cone_nodes(aig, top >> 1, {a >> 1, b >> 1, c >> 1})
+    assert full == {left >> 1, right >> 1, top >> 1}
+
+
+def test_cone_nodes_rejects_uncovered_pi(diamond):
+    aig, (a, b, c, left, right, top) = diamond
+    with pytest.raises(ValueError):
+        cone_nodes(aig, top >> 1, {left >> 1})  # path via right escapes
+
+
+def test_levels_monotone_on_random_aig():
+    aig = build_random_aig(3)
+    levels = aig_levels(aig)
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        assert levels[var] == 1 + max(
+            levels[lit_var(f0)], levels[lit_var(f1)]
+        )

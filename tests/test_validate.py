@@ -1,0 +1,73 @@
+"""Unit tests for the structural invariant checker."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.validate import AigInvariantError, check_aig
+from tests.conftest import build_random_aig
+
+
+def test_valid_aig_passes():
+    check_aig(build_random_aig(1))
+
+
+def test_duplicate_nodes_detected():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    aig.add_and(a, b)
+    aig.add_raw_and(a, b)
+    with pytest.raises(AigInvariantError, match="duplicate"):
+        check_aig(aig)
+
+
+def test_duplicates_allowed_in_lenient_mode():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    aig.add_and(a, b)
+    aig.add_raw_and(a, b)
+    check_aig(aig, strict_strash=False)
+
+
+def test_trivial_node_detected():
+    aig = Aig()
+    a = aig.add_pi()
+    aig.add_raw_and(a, a)
+    with pytest.raises(AigInvariantError, match="reducible"):
+        check_aig(aig)
+
+
+def test_constant_fanin_detected():
+    aig = Aig()
+    a = aig.add_pi()
+    aig.add_raw_and(1, a)
+    with pytest.raises(AigInvariantError, match="constant"):
+        check_aig(aig)
+
+
+def test_live_node_with_dead_fanin_detected():
+    aig = Aig()
+    a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+    inner = aig.add_and(a, b)
+    aig.add_and(inner, c)
+    aig.mark_dead(inner >> 1)
+    with pytest.raises(AigInvariantError, match="dead fanin"):
+        check_aig(aig)
+
+
+def test_po_on_dead_node_detected():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    node = aig.add_and(a, b)
+    aig.add_po(node)
+    aig.mark_dead(node >> 1)
+    with pytest.raises(AigInvariantError, match="dead"):
+        check_aig(aig)
+
+
+def test_dead_node_is_ignored_otherwise():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    node = aig.add_and(a, b)
+    aig.add_po(a)
+    aig.mark_dead(node >> 1)
+    check_aig(aig)
