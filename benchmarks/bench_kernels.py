@@ -7,7 +7,6 @@ with pytest-benchmark's statistics.
 
 import random
 
-from repro.aig.aig import Aig
 from repro.aig.cuts import reconv_cut
 from repro.benchgen.arith import multiplier
 from repro.cec.simulate import random_patterns, simulate

@@ -1,0 +1,172 @@
+"""Deterministic perf-regression smoke suite (the CI bench gate).
+
+Runs a small, fixed matrix of (benchmark, script) cases on the GPU
+engine with observability enabled and writes a ``BENCH_PR.json``
+document holding, per case: QoR before/after (#AND nodes, levels),
+per-pass QoR + modeled time, total modeled time, wall-clock time and a
+few headline counters.  Every field except the ``wall_time`` entries is
+bit-for-bit deterministic — two consecutive runs must produce identical
+QoR and modeled-time numbers (``tests/test_observe.py`` asserts this on
+a subset).
+
+``scripts/bench_report.py`` compares the emitted document against the
+committed ``BENCH_BASELINE.json`` with tolerance bands; CI fails on QoR
+or modeled-time regressions and flags wall-clock regressions above 25%.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py --output BENCH_PR.json
+    PYTHONPATH=src python benchmarks/bench_smoke.py --names voter,div
+
+The module is also importable (``run_case`` / ``run_suite``) so tests
+and future exhibit drivers can reuse the runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any
+
+from repro import observe
+from repro.algorithms.sequences import run_sequence
+from repro.benchgen.suite import load_benchmark
+from repro.parallel.machine import ParallelMachine
+
+#: Format tag of the emitted document.
+FORMAT = "repro.bench/1"
+
+#: Default (benchmark, script) matrix: the quick-regression subset on
+#: the short script, plus one full named sequence for pass coverage.
+DEFAULT_CASES: tuple[tuple[str, str], ...] = (
+    ("div", "b; rw; rf; b"),
+    ("log2", "b; rw; rf; b"),
+    ("voter", "b; rw; rf; b"),
+    ("vga_lcd", "b; rw; rf; b"),
+    ("vga_lcd", "resyn2"),
+)
+
+#: Counters copied into each case (headline work indicators).
+REPORTED_COUNTERS = (
+    "machine.launches",
+    "machine.kernel_work",
+    "machine.host_work",
+    "hashtable.probes",
+    "hashtable.resizes",
+    "rf.cones_collapsed",
+    "rf.cones_replaced",
+    "b.insertion_passes",
+    "dedup.duplicates",
+)
+
+
+def run_case(
+    name: str, script: str, engine: str = "gpu", scale: int = 0
+) -> dict[str, Any]:
+    """Run one (benchmark, script) case and return its result row."""
+    aig = load_benchmark(name, scale)
+    tracer = observe.enable()
+    machine = ParallelMachine()
+    wall_start = time.perf_counter()
+    try:
+        result = run_sequence(aig, script, engine=engine, machine=machine)
+    finally:
+        wall_time = time.perf_counter() - wall_start
+        tracer, registry = observe.disable()
+    passes = [
+        {
+            "command": span.name,
+            "nodes_before": span.attrs["nodes_before"],
+            "nodes_after": span.attrs["nodes_after"],
+            "levels_before": span.attrs["levels_before"],
+            "levels_after": span.attrs["levels_after"],
+            "modeled_time": span.modeled_time,
+        }
+        for span in tracer.passes()
+    ]
+    counters = registry.snapshot()["counters"] if registry else {}
+    return {
+        "name": name,
+        "script": script,
+        "engine": engine,
+        "scale": scale,
+        "nodes_before": passes[0]["nodes_before"],
+        "nodes_after": result.nodes,
+        "levels_before": passes[0]["levels_before"],
+        "levels_after": passes[-1]["levels_after"],
+        "modeled_time": machine.total_time(),
+        "wall_time": wall_time,
+        "passes": passes,
+        "counters": {
+            key: counters[key]
+            for key in REPORTED_COUNTERS
+            if key in counters
+        },
+    }
+
+
+def run_suite(
+    cases: tuple[tuple[str, str], ...] = DEFAULT_CASES,
+    engine: str = "gpu",
+) -> dict[str, Any]:
+    """Run the case matrix; returns the BENCH document."""
+    rows = []
+    wall_start = time.perf_counter()
+    for name, script in cases:
+        row = run_case(name, script, engine=engine)
+        rows.append(row)
+        print(
+            f"  {name:<10s} {script:<14s} "
+            f"{row['nodes_before']:>6d}->{row['nodes_after']:<6d} "
+            f"modeled {row['modeled_time']:.6f}s "
+            f"wall {row['wall_time']:.2f}s",
+            file=sys.stderr,
+        )
+    return {
+        "format": FORMAT,
+        "suite": "smoke",
+        "engine": engine,
+        "wall_time": time.perf_counter() - wall_start,
+        "cases": rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="deterministic perf-regression smoke suite"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_PR.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--names",
+        help="comma-separated benchmark subset (default: full matrix)",
+    )
+    parser.add_argument(
+        "--script",
+        default="b; rw; rf; b",
+        help="script used with --names (default: %(default)s)",
+    )
+    parser.add_argument("--engine", default="gpu", choices=["gpu", "seq"])
+    args = parser.parse_args(argv)
+
+    if args.names:
+        cases = tuple(
+            (token.strip(), args.script)
+            for token in args.names.split(",")
+            if token.strip()
+        )
+    else:
+        cases = DEFAULT_CASES
+    document = run_suite(cases, engine=args.engine)
+    with open(args.output, "w", encoding="ascii") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output} ({len(document['cases'])} cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""Perf-regression gate: compare a bench run against the baseline.
+
+Reads two documents produced by ``benchmarks/bench_smoke.py`` and
+compares them case by case (matched on benchmark name + script +
+engine + scale) with tolerance bands:
+
+* **QoR** (``nodes_after``, ``levels_after``): any increase over the
+  baseline is a regression → **FAIL** (improvements are reported and
+  allowed; refresh the baseline to lock them in).
+* **Modeled time**: more than ``--modeled-tolerance`` (default 10%)
+  slower than baseline → **FAIL**.  Modeled times are deterministic,
+  so the band only absorbs intentional cost-model adjustments.
+* **Wall-clock**: more than ``--wall-tolerance`` (default 25%) slower
+  → **WARN** by default (CI machines are noisy); ``--strict-wall``
+  turns the warning into a failure.
+* A baseline case missing from the run → **FAIL** (coverage loss).
+
+Exit code 0 when the gate passes, 1 otherwise.
+
+Usage::
+
+    python scripts/bench_report.py BENCH_PR.json \
+        --baseline BENCH_BASELINE.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+DEFAULT_MODELED_TOLERANCE = 0.10
+DEFAULT_WALL_TOLERANCE = 0.25
+
+
+def case_key(case: dict[str, Any]) -> tuple:
+    """Identity of a bench case across runs."""
+    return (
+        case["name"],
+        case["script"],
+        case.get("engine", "gpu"),
+        case.get("scale", 0),
+    )
+
+
+def compare(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    modeled_tolerance: float = DEFAULT_MODELED_TOLERANCE,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+) -> tuple[list[str], list[str], list[str]]:
+    """Compare two bench documents.
+
+    Returns ``(failures, warnings, notes)`` — lists of human-readable
+    messages; an empty ``failures`` list means the gate passes.
+    """
+    failures: list[str] = []
+    warnings: list[str] = []
+    notes: list[str] = []
+    current_by_key = {case_key(c): c for c in current.get("cases", [])}
+    baseline_by_key = {case_key(c): c for c in baseline.get("cases", [])}
+
+    for key, base in baseline_by_key.items():
+        label = f"{key[0]} [{key[1]}]"
+        case = current_by_key.get(key)
+        if case is None:
+            failures.append(f"{label}: case missing from this run")
+            continue
+        for field in ("nodes_after", "levels_after"):
+            now, ref = case[field], base[field]
+            if now > ref:
+                failures.append(
+                    f"{label}: QoR regression — {field} {ref} -> {now}"
+                )
+            elif now < ref:
+                notes.append(
+                    f"{label}: QoR improved — {field} {ref} -> {now} "
+                    "(refresh the baseline to lock in)"
+                )
+        now, ref = case["modeled_time"], base["modeled_time"]
+        if ref > 0 and now > ref * (1.0 + modeled_tolerance):
+            failures.append(
+                f"{label}: modeled time {ref:.6f}s -> {now:.6f}s "
+                f"(+{(now / ref - 1) * 100:.1f}%, band "
+                f"{modeled_tolerance * 100:.0f}%)"
+            )
+        now, ref = case["wall_time"], base["wall_time"]
+        if ref > 0 and now > ref * (1.0 + wall_tolerance):
+            warnings.append(
+                f"{label}: wall clock {ref:.2f}s -> {now:.2f}s "
+                f"(+{(now / ref - 1) * 100:.0f}%, band "
+                f"{wall_tolerance * 100:.0f}%)"
+            )
+
+    for key in current_by_key:
+        if key not in baseline_by_key:
+            notes.append(
+                f"{key[0]} [{key[1]}]: new case (not in baseline)"
+            )
+    return failures, warnings, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare a bench_smoke run against the baseline"
+    )
+    parser.add_argument("current", help="BENCH_PR.json from this run")
+    parser.add_argument(
+        "--baseline", default="BENCH_BASELINE.json",
+        help="committed baseline document (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--modeled-tolerance", type=float,
+        default=DEFAULT_MODELED_TOLERANCE,
+        help="allowed modeled-time slowdown fraction "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=DEFAULT_WALL_TOLERANCE,
+        help="wall-clock slowdown fraction before flagging "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--strict-wall", action="store_true",
+        help="treat wall-clock flags as failures",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.current, encoding="ascii") as handle:
+        current = json.load(handle)
+    with open(args.baseline, encoding="ascii") as handle:
+        baseline = json.load(handle)
+
+    failures, warnings, notes = compare(
+        current,
+        baseline,
+        modeled_tolerance=args.modeled_tolerance,
+        wall_tolerance=args.wall_tolerance,
+    )
+    for message in notes:
+        print(f"NOTE  {message}")
+    for message in warnings:
+        print(f"WARN  {message}")
+    for message in failures:
+        print(f"FAIL  {message}")
+    failed = bool(failures) or (args.strict_wall and bool(warnings))
+    compared = len(baseline.get("cases", []))
+    if failed:
+        print(f"bench gate: FAILED ({len(failures)} failure(s), "
+              f"{len(warnings)} warning(s), {compared} case(s))")
+        return 1
+    print(f"bench gate: ok ({compared} case(s), "
+          f"{len(warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ tag, which Figure 8 reports separately from ``rw``/``rf``.
 
 from __future__ import annotations
 
+from repro import observe
 from repro.aig.aig import Aig
 from repro.aig.literals import lit_compl, lit_not_cond, lit_pair_key, lit_var
 from repro.parallel.hashtable import HashTable
@@ -44,43 +45,49 @@ def dedup_and_dangling(
             lit = lit_not_cond(alias[lit >> 1], lit_compl(lit))
         return lit
 
-    levels, order = _resolved_levels(aig, alias, resolve)
-    machine.launch("dedup.levelize", [1] * max(len(order), 1))
+    with observe.span("dedup", "stage"):
+        levels, order = _resolved_levels(aig, alias, resolve)
+        machine.launch("dedup.levelize", [1] * max(len(order), 1))
 
-    batches: dict[int, list[int]] = {}
-    for var in order:
-        if aig.is_and(var) and not aig.is_dead(var) and var not in alias:
-            batches.setdefault(levels[var], []).append(var)
+        batches: dict[int, list[int]] = {}
+        for var in order:
+            if (
+                aig.is_and(var)
+                and not aig.is_dead(var)
+                and var not in alias
+            ):
+                batches.setdefault(levels[var], []).append(var)
 
-    table = HashTable(expected=max(aig.num_ands * 2, 64))
-    duplicates = 0
-    for level in sorted(batches):
-        works = []
-        for var in batches[level]:
-            f0, f1 = aig.fanins(var)
-            r0 = resolve(f0)
-            r1 = resolve(f1)
-            folded = _fold(r0, r1)
-            if folded is not None:
-                alias[var] = folded
-                aig.mark_dead(var)
-                works.append(1)
-                continue
-            key0, key1 = lit_pair_key(r0, r1)
-            winner, probes = table.insert(key0, key1, var)
-            works.append(probes)
-            if winner != var:
-                alias[var] = winner << 1
-                aig.mark_dead(var)
-                duplicates += 1
-        machine.launch("dedup.level", works)
+        table = HashTable(expected=max(aig.num_ands * 2, 64))
+        duplicates = 0
+        for level in sorted(batches):
+            works = []
+            for var in batches[level]:
+                f0, f1 = aig.fanins(var)
+                r0 = resolve(f0)
+                r1 = resolve(f1)
+                folded = _fold(r0, r1)
+                if folded is not None:
+                    alias[var] = folded
+                    aig.mark_dead(var)
+                    works.append(1)
+                    continue
+                key0, key1 = lit_pair_key(r0, r1)
+                winner, probes = table.insert(key0, key1, var)
+                works.append(probes)
+                if winner != var:
+                    alias[var] = winner << 1
+                    aig.mark_dead(var)
+                    duplicates += 1
+            machine.launch("dedup.level", works)
+        observe.count("dedup.duplicates", duplicates)
 
-    _remove_dangling(aig, alias, resolve, machine)
-    result, _ = aig.compact(resolve=alias)
-    # Result compaction is the parallel dump of the hash table to a
-    # dense array (Section III-E); host only stitches the PO list.
-    machine.launch("dedup.compact", [1] * max(result.num_ands, 1))
-    machine.host("dedup.finalize", result.num_pos)
+        _remove_dangling(aig, alias, resolve, machine)
+        result, _ = aig.compact(resolve=alias)
+        # Result compaction is the parallel dump of the hash table to a
+        # dense array (Section III-E); host only stitches the PO list.
+        machine.launch("dedup.compact", [1] * max(result.num_ands, 1))
+        machine.host("dedup.finalize", result.num_pos)
     machine.set_tag(outer_tag)
     return result
 
@@ -178,5 +185,6 @@ def _remove_dangling(
                     stack.append(fvar)
         removed += cone
         works.append(cone)
+    observe.count("dedup.dangling_removed", removed)
     if roots:
         machine.launch("dedup.dangling", works)

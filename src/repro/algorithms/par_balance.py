@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import heapq
 
+from repro import observe
 from repro.aig.aig import Aig
 from repro.aig.literals import lit_compl, lit_not_cond, lit_var
 from repro.aig.traversal import aig_depth
@@ -44,8 +45,11 @@ def par_balance(
     nodes_before = aig.num_ands
     levels_before = aig_depth(aig)
 
-    clusters, inputs_of = _collapse(aig, machine)
-    new, lit_map = _reconstruct(aig, clusters, inputs_of, machine)
+    with observe.span("b.collapse", "stage"):
+        clusters, inputs_of = _collapse(aig, machine)
+    observe.count("b.clusters_collapsed", len(clusters))
+    with observe.span("b.reconstruct", "stage"):
+        new, lit_map = _reconstruct(aig, clusters, inputs_of, machine)
 
     for index, po_lit in enumerate(aig.pos):
         mapped, _ = lit_map[lit_var(po_lit)]
@@ -186,6 +190,7 @@ def _reconstruct(
             if not active:
                 break
             machine.launch("b.insertion_pass", works)
+            observe.count("b.insertion_passes")
         for root, heap in zip(batch, heaps):
             delay, literal = heap[0]
             lit_map[root] = (literal, delay)

@@ -28,6 +28,7 @@ replacement step would cost.
 
 from __future__ import annotations
 
+from repro import observe
 from repro.aig.aig import Aig
 from repro.aig.cuts import CutResult, reconv_cut
 from repro.aig.literals import lit_compl, lit_not_cond, lit_var, make_lit
@@ -72,13 +73,21 @@ def par_refactor(
     levels_before = aig_depth(aig)
     working = aig.clone()
 
-    cones = collapse_into_ffcs(working, max_cut_size, machine)
-    _resynthesize(working, cones, machine)
+    with observe.span("rf.collapse", "stage"):
+        cones = collapse_into_ffcs(working, max_cut_size, machine)
+    observe.count("rf.cones_collapsed", len(cones))
+    with observe.span("rf.resynthesize", "stage"):
+        _resynthesize(working, cones, machine)
     kept = [job for job in cones if job.gain is not None and job.gain >= 0]
     # Gain filtering is a parallel stream compaction (Figure 1b).
     machine.launch("rf.filter", [1] * max(len(cones), 1))
-    kept += _semi_sharing_refine(working, cones, kept, machine)
-    alias = _replace(working, cones, kept, machine, replace_mode)
+    with observe.span("rf.refine", "stage"):
+        refined = _semi_sharing_refine(working, cones, kept, machine)
+    observe.count("rf.cones_refined", len(refined))
+    kept += refined
+    observe.count("rf.cones_replaced", len(kept))
+    with observe.span("rf.replace", "stage"):
+        alias = _replace(working, cones, kept, machine, replace_mode)
 
     # Host post-processing: assembling the replacement list and
     # resolving the outputs — the only sequential part of the proposed
@@ -385,6 +394,7 @@ def _replace(
             break
         account("rf.insertion_round", works)
         round_index += 1
+    observe.count("rf.insertion_rounds", round_index)
 
     # Redirect old roots to new roots.
     alias: dict[int, int] = {}

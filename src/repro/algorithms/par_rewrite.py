@@ -16,14 +16,16 @@ Kernel/host attribution:
 * ``rw.replace_seq`` (host) — the topological-order dereference /
   re-evaluate / commit loop, the measured "sequential part" of Table I.
 
-The committed result is identical to :func:`repro.algorithms.seq_rewrite.seq_rewrite`
-run with the same candidates, matching [9]'s same-or-better-than-ABC
-quality claim.  The standard de-duplication and dangling cleanup
-(Section III-F) runs afterwards.
+The committed result is identical to
+:func:`repro.algorithms.seq_rewrite.seq_rewrite` run with the same
+candidates, matching [9]'s same-or-better-than-ABC quality claim.  The
+standard de-duplication and dangling cleanup (Section III-F) runs
+afterwards.
 """
 
 from __future__ import annotations
 
+from repro import observe
 from repro.aig.aig import Aig
 from repro.aig.cuts import enumerate_cuts
 from repro.aig.literals import lit_var, make_lit
@@ -59,12 +61,16 @@ def par_rewrite(
     levels_before = aig_depth(working)
     min_gain = 0 if zero_gain else 1
 
-    candidates = _match_stage(working, machine, min_gain)
-    replaced, insert_works, host_work = _replace_stage(
-        working, candidates, machine, min_gain
-    )
-    machine.launch("rw.insert", insert_works or [0])
-    machine.host("rw.replace_seq", host_work)
+    with observe.span("rw.match", "stage"):
+        candidates = _match_stage(working, machine, min_gain)
+    observe.count("rw.candidates", len(candidates))
+    with observe.span("rw.replace", "stage"):
+        replaced, insert_works, host_work = _replace_stage(
+            working, candidates, machine, min_gain
+        )
+        machine.launch("rw.insert", insert_works or [0])
+        machine.host("rw.replace_seq", host_work)
+    observe.count("rw.replaced", len(replaced))
 
     view_alias = replaced  # alias map produced by the commit loop
     if run_cleanup:

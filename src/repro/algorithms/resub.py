@@ -28,7 +28,11 @@ from repro.aig.aig import Aig
 from repro.aig.cuts import CutResult, reconv_cut
 from repro.aig.literals import lit_compl, lit_var, make_lit
 from repro.aig.traversal import aig_depth
-from repro.algorithms.common import AliasView, PassResult, resolved_fanout_counts
+from repro.algorithms.common import (
+    AliasView,
+    PassResult,
+    resolved_fanout_counts,
+)
 from repro.algorithms.dedup import dedup_and_dangling
 from repro.algorithms.par_refactor import collapse_into_ffcs
 from repro.algorithms.seq_refactor import deref_cone

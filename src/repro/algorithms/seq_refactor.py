@@ -22,7 +22,11 @@ from repro.aig.aig import Aig
 from repro.aig.cuts import reconv_cut
 from repro.aig.literals import lit_var, make_lit
 from repro.aig.traversal import aig_depth
-from repro.algorithms.common import AliasView, PassResult, resolved_fanout_counts
+from repro.algorithms.common import (
+    AliasView,
+    PassResult,
+    resolved_fanout_counts,
+)
 from repro.logic.resyn import build_plan, plan_resynthesis
 from repro.logic.truth import simulate_cone
 from repro.parallel.machine import SeqMeter

@@ -18,7 +18,11 @@ from repro.aig.aig import Aig
 from repro.aig.cuts import enumerate_cuts
 from repro.aig.literals import lit_var, make_lit
 from repro.aig.traversal import aig_depth
-from repro.algorithms.common import AliasView, PassResult, resolved_fanout_counts
+from repro.algorithms.common import (
+    AliasView,
+    PassResult,
+    resolved_fanout_counts,
+)
 from repro.algorithms.rewrite_lib import instantiate_template, match_function
 from repro.algorithms.seq_refactor import deref_cone, ref_cone_back
 from repro.logic.truth import simulate_cone
@@ -115,7 +119,9 @@ def _rewrite_node(
         view.kill(var)
     snapshot = aig.num_vars
     leaf_lits = [make_lit(var) for var in leaves]
-    new_root = instantiate_template(template, transform, leaf_lits, aig.add_and)
+    new_root = instantiate_template(
+        template, transform, leaf_lits, aig.add_and
+    )
     created = aig.num_vars - snapshot
     gain = len(deleted) - created
     work += len(deleted) + created

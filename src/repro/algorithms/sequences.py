@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import observe
 from repro.aig.aig import Aig
 from repro.algorithms.common import PassResult
 from repro.algorithms.par_balance import par_balance
@@ -100,26 +101,60 @@ def run_sequence(
     if engine == "seq":
         meter = meter if meter is not None else SeqMeter()
         result = SequenceResult(aig, meter=meter)
-        for command in commands:
-            step = _run_seq_command(
-                result.aig, command, max_cut_size, meter
-            )
-            result.steps.append((command, step))
-            result.aig = step.aig
+        with observe.span(
+            "run_sequence", "sequence", script=script, engine="seq"
+        ):
+            for index, command in enumerate(commands):
+                with observe.span(
+                    command, "pass", engine="seq", index=index
+                ) as pass_span:
+                    metered_before = meter.time()
+                    step = _run_seq_command(
+                        result.aig, command, max_cut_size, meter
+                    )
+                    # The sequential engine has no machine trace, so
+                    # the pass's metered time advances the modeled
+                    # clock through one explicit host event.
+                    observe.event(
+                        f"seq.{command}",
+                        "host",
+                        modeled=meter.time() - metered_before,
+                    )
+                    _annotate_pass(pass_span, step, step)
+                    result.steps.append((command, step))
+                    result.aig = step.aig
         return result
     if engine == "gpu":
         machine = machine if machine is not None else ParallelMachine()
         result = SequenceResult(aig, machine=machine)
-        for command in commands:
-            machine.set_tag(command)
-            for step in _run_gpu_command(
-                result.aig, command, max_cut_size, machine
-            ):
-                result.steps.append((command, step))
-                result.aig = step.aig
+        with observe.span(
+            "run_sequence", "sequence", script=script, engine="gpu"
+        ):
+            for index, command in enumerate(commands):
+                machine.set_tag(command)
+                with observe.span(
+                    command, "pass", engine="gpu", index=index
+                ) as pass_span:
+                    steps = _run_gpu_command(
+                        result.aig, command, max_cut_size, machine
+                    )
+                    for step in steps:
+                        result.steps.append((command, step))
+                        result.aig = step.aig
+                    _annotate_pass(pass_span, steps[0], steps[-1])
         machine.set_tag("")
         return result
     raise ValueError(f"unknown engine {engine!r} (use 'seq' or 'gpu')")
+
+
+def _annotate_pass(pass_span, first: PassResult, last: PassResult) -> None:
+    """Attach QoR before/after numbers to a pass span."""
+    pass_span.annotate(
+        nodes_before=first.nodes_before,
+        nodes_after=last.nodes_after,
+        levels_before=first.levels_before,
+        levels_after=last.levels_after,
+    )
 
 
 def _run_seq_command(

@@ -348,7 +348,7 @@ def voter(num_inputs: int) -> Aig:
                 index + 1 < len(column) and len(column) == 2
             ):
                 if index + 2 < len(column):
-                    a, b, c = column[index], column[index + 1], column[index + 2]
+                    a, b, c = column[index : index + 3]
                     total, carry = full_adder(aig, a, b, c)
                     index += 3
                 else:

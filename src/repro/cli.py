@@ -5,6 +5,7 @@ Subcommands::
     repro-aig stats  circuit.aag
     repro-aig gen    multiplier --scale 2 -o mult_2xd.aag
     repro-aig opt    -c "b; rw; rf" --engine gpu circuit.aag -o out.aag
+    repro-aig opt    -c resyn2 --trace trace.json --metrics circuit.aag
     repro-aig cec    left.aag right.aag
     repro-aig export circuit.aag --format verilog -o circuit.v
     repro-aig map    circuit.aag -k 6 [--choices]
@@ -21,11 +22,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import observe
 from repro.aig.io_aiger import read_aiger, write_aag
 from repro.algorithms.sequences import run_sequence
 from repro.benchgen.suite import SUITE_ORDER, load_benchmark
 from repro.cec.equivalence import CecStatus, check_equivalence
 from repro.experiments import tables
+from repro.observe import export
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,6 +71,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument(
         "--verify", action="store_true",
         help="equivalence-check the result against the input",
+    )
+    p_opt.add_argument(
+        "--trace", metavar="PATH",
+        help="write a structured JSON trace of the run (the file also "
+        "loads directly in chrome://tracing)",
+    )
+    p_opt.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics registry (probes, resizes, cones, ...)",
     )
     p_opt.set_defaults(handler=_cmd_opt)
 
@@ -138,9 +150,16 @@ def _cmd_gen(args: argparse.Namespace) -> int:
 def _cmd_opt(args: argparse.Namespace) -> int:
     aig = read_aiger(args.input)
     before = aig.stats()
-    result = run_sequence(
-        aig, args.script, engine=args.engine, max_cut_size=args.cut_size
-    )
+    observing = bool(args.trace or args.metrics)
+    if observing:
+        observe.enable()
+    try:
+        result = run_sequence(
+            aig, args.script, engine=args.engine,
+            max_cut_size=args.cut_size,
+        )
+    finally:
+        tracer, registry = observe.disable() if observing else (None, None)
     after = result.aig.stats()
     print(
         f"{args.script} [{args.engine}]: "
@@ -148,6 +167,27 @@ def _cmd_opt(args: argparse.Namespace) -> int:
         f"{after['ands']}/{after['levels']} "
         f"(modeled {result.modeled_time():.6f}s)"
     )
+    if tracer is not None:
+        print()
+        print(export.format_pass_table(tracer))
+        if args.metrics and registry is not None:
+            print()
+            print(registry.format())
+        if args.trace:
+            export.export_trace(
+                args.trace, tracer, registry,
+                meta={
+                    "input": args.input,
+                    "script": args.script,
+                    "engine": args.engine,
+                    "cut_size": args.cut_size,
+                    "nodes_before": before["ands"],
+                    "nodes_after": after["ands"],
+                    "levels_before": before["levels"],
+                    "levels_after": after["levels"],
+                },
+            )
+            print(f"\nwrote trace {args.trace}")
     if args.verify:
         verdict = check_equivalence(aig, result.aig)
         print(f"equivalence: {verdict.status.value}")

@@ -190,7 +190,9 @@ def run_table2(
             safe_ratio(row["gpu_b_nodes"], row["abc_b_nodes"])
         )
         agg["b_levels"].append(
-            safe_ratio(max(row["gpu_b_levels"], 1), max(row["abc_b_levels"], 1))
+            safe_ratio(
+                max(row["gpu_b_levels"], 1), max(row["abc_b_levels"], 1)
+            )
         )
         agg["b_accel"].append(safe_ratio(row["abc_b_time"], row["gpu_b_time"]))
         agg["rf_nodes"].append(

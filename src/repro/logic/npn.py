@@ -57,7 +57,9 @@ class NpnTransform:
 
 
 @lru_cache(maxsize=None)
-def _minterm_maps(num_vars: int) -> list[tuple[tuple[int, ...], int, tuple[int, ...]]]:
+def _minterm_maps(
+    num_vars: int,
+) -> list[tuple[tuple[int, ...], int, tuple[int, ...]]]:
     """All (perm, phase, minterm-map) triples for ``num_vars`` inputs.
 
     ``map[m]`` is the minterm of the original function that position

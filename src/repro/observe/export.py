@@ -1,0 +1,208 @@
+"""Trace exporters: structured JSON and Chrome ``chrome://tracing``.
+
+One exported file serves both consumers: the top level is a JSON object
+whose ``traceEvents`` key holds Chrome Trace Event Format entries (the
+Chrome/Perfetto loaders ignore unknown sibling keys), while ``spans``,
+``passes``, ``metrics`` and ``summary`` carry the full structured data
+for programmatic use.
+
+Chrome layout: process 0 with two virtual threads — tid 0 is the
+**modeled** timeline (machine-model seconds; kernels and host sections
+appear with their modeled durations, nested under pass/stage spans) and
+tid 1 is the **wall-clock** timeline.  Durations are microseconds, as
+the format requires.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TextIO
+
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.spans import Tracer
+
+#: Identifier/version of the structured trace schema.
+FORMAT = "repro.observe/1"
+
+_TID_MODELED = 0
+_TID_WALL = 1
+
+#: Modeled→Chrome timestamp scale.  Modeled kernel times are micro- to
+#: milliseconds; exporting them in nanoseconds-as-microseconds keeps
+#: sub-microsecond kernels visible in the viewer.
+_MODELED_SCALE = 1e9
+_WALL_SCALE = 1e6
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict[str, Any]]:
+    """Trace Event Format entries for every recorded span."""
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro-aig"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": _TID_MODELED,
+            "args": {"name": "modeled time (machine model, ns as us)"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": _TID_WALL,
+            "args": {"name": "wall clock"},
+        },
+    ]
+    for span in tracer.root.walk():
+        if span.kind == "root":
+            continue
+        args = {"kind": span.kind, **span.attrs}
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "pid": 0,
+                "tid": _TID_MODELED,
+                "ts": span.modeled_start * _MODELED_SCALE,
+                "dur": span.modeled_time * _MODELED_SCALE,
+                "args": args,
+            }
+        )
+        # Kernel/host leaves have ~zero wall extent of their own; the
+        # wall timeline shows the structural spans.
+        if span.kind in ("sequence", "pass", "stage"):
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.kind,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": _TID_WALL,
+                    "ts": (span.wall_start - tracer.origin) * _WALL_SCALE,
+                    "dur": span.wall_time * _WALL_SCALE,
+                    "args": args,
+                }
+            )
+    return events
+
+
+def pass_rows(tracer: Tracer) -> list[dict[str, Any]]:
+    """Flat per-pass rows (QoR + time) from the pass-level spans."""
+    rows = []
+    for index, span in enumerate(tracer.passes()):
+        row: dict[str, Any] = {
+            "index": index,
+            "command": span.name,
+            "modeled_time": span.modeled_time,
+            "wall_time": span.wall_time,
+        }
+        for key in (
+            "engine",
+            "nodes_before",
+            "nodes_after",
+            "levels_before",
+            "levels_after",
+        ):
+            if key in span.attrs:
+                row[key] = span.attrs[key]
+        rows.append(row)
+    return rows
+
+
+def trace_to_dict(
+    tracer: Tracer,
+    metrics: MetricsRegistry | None = None,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The full structured trace document (see module docstring)."""
+    root = tracer.finish()
+    return {
+        "format": FORMAT,
+        "meta": dict(meta or {}),
+        "summary": {
+            "wall_time": tracer.wall_time(),
+            "modeled_time": tracer.modeled_clock,
+            "spans": sum(1 for _ in root.walk()) - 1,
+        },
+        "passes": pass_rows(tracer),
+        "spans": root.to_dict(origin=tracer.origin),
+        "metrics": metrics.snapshot() if metrics is not None else {},
+        "traceEvents": chrome_trace_events(tracer),
+    }
+
+
+def export_trace(
+    destination: str | TextIO,
+    tracer: Tracer,
+    metrics: MetricsRegistry | None = None,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Write the combined JSON/Chrome trace; returns the document."""
+    document = trace_to_dict(tracer, metrics=metrics, meta=meta)
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="ascii") as handle:
+            json.dump(document, handle, indent=1)
+            handle.write("\n")
+    else:
+        json.dump(document, destination, indent=1)
+    return document
+
+
+def format_pass_table(tracer: Tracer) -> str:
+    """Per-pass breakdown table (the ``opt --trace/--metrics`` output)."""
+    rows = pass_rows(tracer)
+    header = ("pass", "nodes", "levels", "modeled(s)", "wall(s)")
+    table = [header]
+    total_modeled = 0.0
+    total_wall = 0.0
+    for row in rows:
+        nodes = "-"
+        if "nodes_before" in row:
+            nodes = f"{row['nodes_before']}->{row['nodes_after']}"
+        levels = "-"
+        if "levels_before" in row:
+            levels = f"{row['levels_before']}->{row['levels_after']}"
+        table.append(
+            (
+                f"{row['index']}:{row['command']}",
+                nodes,
+                levels,
+                f"{row['modeled_time']:.6f}",
+                f"{row['wall_time']:.3f}",
+            )
+        )
+        total_modeled += row["modeled_time"]
+        total_wall += row["wall_time"]
+    table.append(
+        ("total", "", "", f"{total_modeled:.6f}", f"{total_wall:.3f}")
+    )
+    widths = [
+        max(len(row[col]) for row in table) for col in range(len(header))
+    ]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append(
+            "  ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            ).rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+__all__ = [
+    "FORMAT",
+    "chrome_trace_events",
+    "export_trace",
+    "format_pass_table",
+    "pass_rows",
+    "trace_to_dict",
+]

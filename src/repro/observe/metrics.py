@@ -1,0 +1,50 @@
+"""Process-wide metrics registry: named counters and gauges.
+
+Counters accumulate monotonically (hash-table probes, resize events,
+cones collapsed, insertion passes); gauges hold the last reported value
+(final table load factor, last batch width).  The registry is a plain
+dictionary pair — cheap enough to update from hot loops when
+observability is on, and never touched when it is off (call sites guard
+on :data:`repro.observe.enabled`).
+"""
+
+from __future__ import annotations
+
+
+class MetricsRegistry:
+    """Named counter/gauge store for one observed run."""
+
+    __slots__ = ("counters", "gauges")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value``."""
+        self.gauges[name] = value
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """JSON-ready copy with deterministically sorted keys."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+        }
+
+    def reset(self) -> None:
+        """Drop every counter and gauge."""
+        self.counters.clear()
+        self.gauges.clear()
+
+    def format(self) -> str:
+        """Human-readable one-per-line rendering."""
+        lines = []
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"{name} = {value}")
+        for name, value in sorted(self.gauges.items()):
+            lines.append(f"{name} = {value:g}")
+        return "\n".join(lines)

@@ -1,0 +1,209 @@
+"""Hierarchical span tracing for optimization runs.
+
+A :class:`Tracer` records a tree of :class:`Span` objects mirroring the
+structure of a run: **sequence** (one script invocation) → **pass** (one
+script command, e.g. ``rf``) → **stage** (one algorithm phase, e.g.
+``rf.collapse``) → **kernel**/**host** leaves (one
+:class:`~repro.parallel.machine.ParallelMachine` record each).
+
+Every span carries two clocks:
+
+* **wall clock** — real elapsed seconds (``time.perf_counter``), what a
+  user actually waited;
+* **modeled clock** — the machine model's simulated seconds.  The
+  tracer owns a cumulative modeled clock that only :meth:`Tracer.event`
+  advances; a span's modeled interval is the clock delta between its
+  entry and exit, so per-pass modeled times sum exactly to
+  ``ParallelMachine.total_time()`` for everything recorded inside the
+  traced region.
+
+Spans are plain data; the zero-overhead-when-disabled switchboard lives
+in :mod:`repro.observe` (the package ``__init__``), which hands out a
+shared no-op span when tracing is off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Span kinds, outermost to innermost.
+KINDS = ("root", "sequence", "pass", "stage", "kernel", "host", "event")
+
+
+@dataclass
+class Span:
+    """One timed region of a run (a node of the trace tree)."""
+
+    name: str
+    kind: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    wall_start: float = 0.0
+    wall_end: float = 0.0
+    modeled_start: float = 0.0
+    modeled_end: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def wall_time(self) -> float:
+        """Real elapsed seconds spent inside the span."""
+        return self.wall_end - self.wall_start
+
+    @property
+    def modeled_time(self) -> float:
+        """Modeled (machine-model) seconds elapsed inside the span."""
+        return self.modeled_end - self.modeled_start
+
+    def to_dict(self, origin: float = 0.0) -> dict[str, Any]:
+        """Recursive JSON-ready form; wall times relative to ``origin``."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "wall_start": self.wall_start - origin,
+            "wall_time": self.wall_time,
+            "modeled_start": self.modeled_start,
+            "modeled_time": self.modeled_time,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [
+                child.to_dict(origin) for child in self.children
+            ]
+        return out
+
+    def walk(self):
+        """Yield the span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class SpanHandle:
+    """Context manager binding one :class:`Span` to a tracer's stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes (QoR numbers, counts) to the span."""
+        self.span.attrs.update(attrs)
+
+    def __enter__(self) -> "SpanHandle":
+        self._tracer._push(self.span)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Span recorder: a stack-shaped builder for one trace tree."""
+
+    def __init__(
+        self, clock: Callable[[], float] = time.perf_counter
+    ) -> None:
+        self._clock = clock
+        self.origin = clock()
+        self.modeled_clock = 0.0
+        self.root = Span("trace", "root")
+        self.root.wall_start = self.origin
+        self._stack: list[Span] = [self.root]
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span."""
+        return self._stack[-1]
+
+    def span(self, name: str, kind: str = "stage", **attrs: Any) -> SpanHandle:
+        """Open a child span of the current span (use as ``with``)."""
+        return SpanHandle(self, Span(name, kind, dict(attrs)))
+
+    def event(
+        self,
+        name: str,
+        kind: str = "event",
+        modeled: float = 0.0,
+        wall_start: float | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record a leaf span and advance the modeled clock.
+
+        ``modeled`` is the event's machine-model duration in seconds
+        (e.g. ``KernelRecord.time(config)``); ``wall_start`` backdates
+        the wall interval for events whose real execution preceded the
+        call (the machine's ``kernel()`` runs the batch before it can
+        report it).
+        """
+        now = self._clock()
+        span = Span(name, kind, dict(attrs))
+        span.wall_start = now if wall_start is None else wall_start
+        span.wall_end = now
+        span.modeled_start = self.modeled_clock
+        self.modeled_clock += modeled
+        span.modeled_end = self.modeled_clock
+        self.current.children.append(span)
+        return span
+
+    def _push(self, span: Span) -> None:
+        span.wall_start = self._clock()
+        span.modeled_start = self.modeled_clock
+        self.current.children.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.wall_end = self._clock()
+        span.modeled_end = self.modeled_clock
+        if self._stack[-1] is span:
+            self._stack.pop()
+        else:  # pragma: no cover - misuse guard
+            while len(self._stack) > 1 and self._stack[-1] is not span:
+                self._stack.pop()
+            if len(self._stack) > 1:
+                self._stack.pop()
+
+    def finish(self) -> Span:
+        """Close any open spans (including the root) and return it."""
+        now = self._clock()
+        while len(self._stack) > 1:
+            dangling = self._stack.pop()
+            dangling.wall_end = now
+            dangling.modeled_end = self.modeled_clock
+        self.root.wall_end = now
+        self.root.modeled_end = self.modeled_clock
+        return self.root
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def spans(self, kind: str | None = None) -> list[Span]:
+        """All spans (optionally of one kind), pre-order."""
+        return [
+            span
+            for span in self.root.walk()
+            if kind is None or span.kind == kind
+        ]
+
+    def passes(self) -> list[Span]:
+        """The pass-level spans, in execution order."""
+        return self.spans("pass")
+
+    def wall_time(self) -> float:
+        """Wall seconds from tracer creation to the last recorded edge."""
+        end = self.root.wall_end
+        if end == 0.0:
+            end = max(
+                (span.wall_end for span in self.root.walk()),
+                default=self.origin,
+            )
+        return end - self.origin

@@ -16,6 +16,7 @@ below 0.001%, and the simulation is simply exact.
 
 from __future__ import annotations
 
+from repro import observe
 from repro.aig.literals import lit_pair_key
 
 _EMPTY = -1
@@ -78,8 +79,14 @@ class HashTable:
                 self._key1[slot] = key1
                 self._value[slot] = value
                 self._size += 1
+                if observe.enabled:
+                    observe.count("hashtable.inserts")
+                    observe.count("hashtable.probes", probes)
                 return value, probes
             if self._key0[slot] == key0 and self._key1[slot] == key1:
+                if observe.enabled:
+                    observe.count("hashtable.insert_hits")
+                    observe.count("hashtable.probes", probes)
                 return self._value[slot], probes
             slot = (slot + 1) & mask
             probes += 1
@@ -91,13 +98,21 @@ class HashTable:
         probes = 1
         while True:
             if self._value[slot] == _EMPTY:
-                return None, probes
+                value = None
+                break
             if self._key0[slot] == key0 and self._key1[slot] == key1:
-                return self._value[slot], probes
+                value = self._value[slot]
+                break
             slot = (slot + 1) & mask
             probes += 1
+        if observe.enabled:
+            observe.count("hashtable.lookups")
+            observe.count("hashtable.probes", probes)
+        return value, probes
 
-    def update(self, key0: int, key1: int, value: int) -> tuple[int | None, int]:
+    def update(
+        self, key0: int, key1: int, value: int
+    ) -> tuple[int | None, int]:
         """Overwrite the value of an existing key (or insert).
 
         Returns ``(previous_value_or_None, probes)``.  Needed by the
@@ -115,10 +130,16 @@ class HashTable:
                 self._key1[slot] = key1
                 self._value[slot] = value
                 self._size += 1
+                if observe.enabled:
+                    observe.count("hashtable.updates")
+                    observe.count("hashtable.probes", probes)
                 return None, probes
             if self._key0[slot] == key0 and self._key1[slot] == key1:
                 previous = self._value[slot]
                 self._value[slot] = value
+                if observe.enabled:
+                    observe.count("hashtable.updates")
+                    observe.count("hashtable.probes", probes)
                 return previous, probes
             slot = (slot + 1) & mask
             probes += 1
@@ -165,6 +186,8 @@ class HashTable:
         ]
 
     def _grow(self) -> None:
+        if observe.enabled:
+            observe.count("hashtable.resizes")
         pairs = self.dump()
         capacity = len(self._value) * 2
         self._key0 = [_EMPTY] * capacity

@@ -4,12 +4,15 @@ The paper's algorithms are expressed as sequences of *kernels*: data-
 parallel launches over batches of independent items (cones, subtrees,
 nodes), interleaved with small amounts of sequential *host* work.  This
 module provides the execution substrate standing in for the CUDA GPU:
-algorithms run their per-item Python code through :meth:`ParallelMachine.kernel`
-(or report work profiles via :meth:`ParallelMachine.launch`), and the
+algorithms run their per-item Python code through
+:meth:`ParallelMachine.kernel` (or report work profiles via
+:meth:`ParallelMachine.launch`), and the
 machine records a trace — batch width, total work, critical-path work —
 from which a calibrated analytic model produces *modeled* GPU runtimes.
 
-Model, per kernel launch over ``n`` items with work units ``w_1..w_n``::
+Model, per kernel launch over ``n`` items with work units ``w_1..w_n``
+(implemented by :meth:`KernelRecord.time`; DESIGN.md quotes the same
+formula)::
 
     T_kernel = t_launch + max( sum(w) / gpu_throughput,
                                max(w) * t_gpu_thread_op )
@@ -35,9 +38,12 @@ trace itself.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro import observe
 
 
 @dataclass(frozen=True)
@@ -124,6 +130,7 @@ class ParallelMachine:
         simulation is exactly reproducible instead).  Returns the
         results in order.
         """
+        wall_start = time.perf_counter() if observe.enabled else 0.0
         results = []
         total = 0
         peak = 0
@@ -135,9 +142,10 @@ class ParallelMachine:
             if work > peak:
                 peak = work
             count += 1
-        self.records.append(
-            KernelRecord(name, self._tag, count, total, peak)
-        )
+        record = KernelRecord(name, self._tag, count, total, peak)
+        self.records.append(record)
+        if observe.enabled:
+            observe.machine_kernel(record, self.config, wall_start)
         return results
 
     def launch(self, name: str, works: Sequence[int]) -> None:
@@ -148,13 +156,17 @@ class ParallelMachine:
             total += work
             if work > peak:
                 peak = work
-        self.records.append(
-            KernelRecord(name, self._tag, len(works), total, peak)
-        )
+        record = KernelRecord(name, self._tag, len(works), total, peak)
+        self.records.append(record)
+        if observe.enabled:
+            observe.machine_kernel(record, self.config)
 
     def host(self, name: str, work: int) -> None:
         """Record sequential host-side work (the "sequential part")."""
-        self.records.append(HostRecord(name, self._tag, work))
+        record = HostRecord(name, self._tag, work)
+        self.records.append(record)
+        if observe.enabled:
+            observe.machine_host(record, self.config)
 
     # ------------------------------------------------------------------
     # Evaluation

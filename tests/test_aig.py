@@ -3,7 +3,7 @@
 import pytest
 
 from repro.aig.aig import Aig, aig_from_pos
-from repro.aig.literals import CONST0, CONST1, make_lit
+from repro.aig.literals import CONST0, CONST1
 from repro.aig.validate import check_aig
 from tests.conftest import assert_equivalent, build_random_aig
 

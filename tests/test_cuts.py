@@ -4,7 +4,6 @@ import pytest
 
 from repro.aig.aig import Aig
 from repro.aig.cuts import enumerate_cuts, reconv_cut
-from repro.aig.literals import lit_var
 from repro.aig.traversal import cone_nodes
 from tests.conftest import build_random_aig
 

@@ -101,7 +101,10 @@ def test_count_factored_ands_matches_fresh_build(table):
 
 def test_node_flattening():
     nested = FactorNode.and_(
-        [FactorNode.lit(0), FactorNode.and_([FactorNode.lit(2), FactorNode.lit(4)])]
+        [
+            FactorNode.lit(0),
+            FactorNode.and_([FactorNode.lit(2), FactorNode.lit(4)]),
+        ]
     )
     assert nested.kind == "and"
     assert len(nested.children) == 3

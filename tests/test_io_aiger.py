@@ -12,7 +12,7 @@ from repro.aig.io_aiger import (
     write_aag,
     write_aig_binary,
 )
-from tests.conftest import assert_equivalent, build_random_aig
+from tests.conftest import assert_equivalent
 
 
 def test_ascii_roundtrip(tmp_path, seeded_aig):

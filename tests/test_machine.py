@@ -103,6 +103,51 @@ def test_deeper_batches_cost_more_launches():
     assert level_wise.gpu_time() > one_shot.gpu_time()
 
 
+def test_empty_trace_summary_is_all_zero():
+    machine = ParallelMachine()
+    assert machine.summary() == {
+        "gpu_time": 0.0,
+        "host_time": 0.0,
+        "total_time": 0.0,
+        "launches": 0.0,
+    }
+    assert machine.breakdown_by_tag() == {}
+
+
+def test_zero_batch_launch_costs_nothing():
+    machine = ParallelMachine()
+    machine.launch("k", [])
+    record = machine.records[-1]
+    assert (record.batch, record.total_work, record.max_work) == (0, 0, 0)
+    # An empty launch is elided by the model (no work was dispatched)
+    # but still counted as a launch in the trace.
+    assert machine.total_time() == 0.0
+    assert machine.num_launches() == 1
+    assert machine.summary()["launches"] == 1.0
+
+
+def test_zero_batch_kernel_runs_nothing():
+    machine = ParallelMachine()
+    assert machine.kernel("k", [], lambda x: (x, 1)) == []
+    assert machine.total_time() == 0.0
+
+
+def test_breakdown_with_untagged_records():
+    machine = ParallelMachine()
+    machine.launch("early", [1])  # before any set_tag: tag ""
+    machine.set_tag("b")
+    machine.host("h", 3)
+    breakdown = machine.breakdown_by_tag()
+    assert set(breakdown) == {"", "b"}
+    assert breakdown[""]["gpu"] > 0
+    assert breakdown[""]["host"] == 0.0
+    assert breakdown["b"]["host"] > 0
+    total = sum(
+        entry["gpu"] + entry["host"] for entry in breakdown.values()
+    )
+    assert total == pytest.approx(machine.total_time())
+
+
 def test_seq_meter_accumulates_sections():
     meter = SeqMeter()
     meter.add(10, "a")

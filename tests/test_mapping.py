@@ -9,7 +9,7 @@ from repro.mapping.choices import (
     map_with_choices,
     union_aigs,
 )
-from repro.mapping.lut_map import Lut, LutNetwork, lut_map, verify_mapping
+from repro.mapping.lut_map import LutNetwork, lut_map, verify_mapping
 from tests.conftest import build_random_aig
 
 
