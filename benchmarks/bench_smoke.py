@@ -4,10 +4,20 @@ Runs a small, fixed matrix of (benchmark, script) cases on the GPU
 engine with observability enabled and writes a ``BENCH_PR.json``
 document holding, per case: QoR before/after (#AND nodes, levels),
 per-pass QoR + modeled time, total modeled time, wall-clock time and a
-few headline counters.  Every field except the ``wall_time`` entries is
-bit-for-bit deterministic — two consecutive runs must produce identical
-QoR and modeled-time numbers (``tests/test_observe.py`` asserts this on
-a subset).
+few headline counters.  Every field except the ``wall_time`` /
+``wall_times`` / ``speedup`` entries is bit-for-bit deterministic — two
+consecutive runs must produce identical QoR and modeled-time numbers
+(``tests/test_observe.py`` asserts this on a subset), and the numbers
+are identical under both kernel backends
+(:mod:`repro.parallel.backend`; enforced by
+``tests/test_backend_parity.py``).
+
+Wall-clock is recorded as the best of ``--repeats`` runs (default 3) —
+single-shot timing made the 25% drift warning noisy.  When NumPy is
+available, each case is additionally timed under *both* backends and
+the row carries ``wall_times = {"python": ..., "numpy": ...}`` plus the
+resulting ``speedup``; the top-level ``wall_time`` keeps the active
+backend's time so the baseline comparison stays backend-local.
 
 ``scripts/bench_report.py`` compares the emitted document against the
 committed ``BENCH_BASELINE.json`` with tolerance bands; CI fails on QoR
@@ -33,6 +43,7 @@ from typing import Any
 from repro import observe
 from repro.algorithms.sequences import run_sequence
 from repro.benchgen.suite import load_benchmark
+from repro.parallel import backend
 from repro.parallel.machine import ParallelMachine
 
 #: Format tag of the emitted document.
@@ -61,11 +72,14 @@ REPORTED_COUNTERS = (
     "dedup.duplicates",
 )
 
+#: Wall-clock repeats per (case, backend); the best is reported.
+DEFAULT_REPEATS = 3
 
-def run_case(
-    name: str, script: str, engine: str = "gpu", scale: int = 0
-) -> dict[str, Any]:
-    """Run one (benchmark, script) case and return its result row."""
+
+def _run_once(
+    name: str, script: str, engine: str, scale: int
+) -> tuple[dict[str, Any], float]:
+    """One timed run; returns (deterministic row fields, wall seconds)."""
     aig = load_benchmark(name, scale)
     tracer = observe.enable()
     machine = ParallelMachine()
@@ -73,7 +87,7 @@ def run_case(
     try:
         result = run_sequence(aig, script, engine=engine, machine=machine)
     finally:
-        wall_time = time.perf_counter() - wall_start
+        wall = time.perf_counter() - wall_start
         tracer, registry = observe.disable()
     passes = [
         {
@@ -87,17 +101,12 @@ def run_case(
         for span in tracer.passes()
     ]
     counters = registry.snapshot()["counters"] if registry else {}
-    return {
-        "name": name,
-        "script": script,
-        "engine": engine,
-        "scale": scale,
+    row = {
         "nodes_before": passes[0]["nodes_before"],
         "nodes_after": result.nodes,
         "levels_before": passes[0]["levels_before"],
         "levels_after": passes[-1]["levels_after"],
         "modeled_time": machine.total_time(),
-        "wall_time": wall_time,
         "passes": passes,
         "counters": {
             key: counters[key]
@@ -105,29 +114,87 @@ def run_case(
             if key in counters
         },
     }
+    return row, wall
+
+
+def run_case(
+    name: str,
+    script: str,
+    engine: str = "gpu",
+    scale: int = 0,
+    repeats: int = DEFAULT_REPEATS,
+) -> dict[str, Any]:
+    """Run one (benchmark, script) case and return its result row.
+
+    The deterministic fields come from the active backend's first run;
+    wall-clock is best-of-``repeats`` per backend.  Both backends are
+    timed (and cross-checked for identical modeled time) when NumPy is
+    available and the engine actually exercises the kernels.
+    """
+    active = backend.current_backend()
+    backends = [active]
+    if engine == "gpu" and backend.HAS_NUMPY:
+        backends = ["python", "numpy"]
+    row: dict[str, Any] | None = None
+    wall_times: dict[str, float] = {}
+    modeled: dict[str, float] = {}
+    for chosen in backends:
+        backend.set_backend(chosen)
+        try:
+            best = float("inf")
+            for _ in range(max(repeats, 1)):
+                this_row, wall = _run_once(name, script, engine, scale)
+                best = min(best, wall)
+                modeled[chosen] = this_row["modeled_time"]
+                if chosen == active:
+                    row = this_row
+            wall_times[chosen] = best
+        finally:
+            backend.set_backend(None)
+    assert row is not None
+    # Backend parity guard: modeled time must match across backends.
+    assert len(set(modeled.values())) == 1, modeled
+    row = {
+        "name": name,
+        "script": script,
+        "engine": engine,
+        "scale": scale,
+        **row,
+        "wall_time": wall_times[active],
+        "wall_times": wall_times,
+    }
+    if "python" in wall_times and "numpy" in wall_times:
+        row["speedup"] = wall_times["python"] / wall_times["numpy"]
+    return row
 
 
 def run_suite(
     cases: tuple[tuple[str, str], ...] = DEFAULT_CASES,
     engine: str = "gpu",
+    repeats: int = DEFAULT_REPEATS,
 ) -> dict[str, Any]:
     """Run the case matrix; returns the BENCH document."""
     rows = []
     wall_start = time.perf_counter()
     for name, script in cases:
-        row = run_case(name, script, engine=engine)
+        row = run_case(name, script, engine=engine, repeats=repeats)
         rows.append(row)
+        speedup = (
+            f" speedup {row['speedup']:.2f}x" if "speedup" in row else ""
+        )
         print(
             f"  {name:<10s} {script:<14s} "
             f"{row['nodes_before']:>6d}->{row['nodes_after']:<6d} "
             f"modeled {row['modeled_time']:.6f}s "
-            f"wall {row['wall_time']:.2f}s",
+            f"wall {row['wall_time']:.2f}s{speedup}",
             file=sys.stderr,
         )
     return {
         "format": FORMAT,
         "suite": "smoke",
         "engine": engine,
+        "backend": backend.current_backend(),
+        "repeats": repeats,
         "wall_time": time.perf_counter() - wall_start,
         "cases": rows,
     }
@@ -149,6 +216,12 @@ def main(argv: list[str] | None = None) -> int:
         default="b; rw; rf; b",
         help="script used with --names (default: %(default)s)",
     )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_REPEATS,
+        help="wall-clock repeats per case/backend (default: %(default)s)",
+    )
     parser.add_argument("--engine", default="gpu", choices=["gpu", "seq"])
     args = parser.parse_args(argv)
 
@@ -160,7 +233,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         cases = DEFAULT_CASES
-    document = run_suite(cases, engine=args.engine)
+    document = run_suite(cases, engine=args.engine, repeats=args.repeats)
     with open(args.output, "w", encoding="ascii") as handle:
         json.dump(document, handle, indent=1, sort_keys=True)
         handle.write("\n")

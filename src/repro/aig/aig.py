@@ -53,6 +53,9 @@ class Aig:
         self._po_names: list[str | None] = []
         self._pi_names: list[str | None] = []
         self._strash: dict[tuple[int, int], int] = {}
+        # Mutation counter + cache backing :meth:`arrays`.
+        self._version = 0
+        self._arrays_cache: tuple | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -61,6 +64,7 @@ class Aig:
     def add_pi(self, name: str | None = None) -> int:
         """Create a primary input; returns its (non-complemented) literal."""
         var = len(self._fanin0)
+        self._version += 1
         self._fanin0.append(PI_FANIN)
         self._fanin1.append(PI_FANIN)
         self._dead.append(False)
@@ -103,6 +107,7 @@ class Aig:
         if existing is not None and not self._dead[existing]:
             return make_lit(existing)
         var = len(self._fanin0)
+        self._version += 1
         self._fanin0.append(f0)
         self._fanin1.append(f1)
         self._dead.append(False)
@@ -120,6 +125,7 @@ class Aig:
         self._check_lit(lit1)
         f0, f1 = lit_pair_key(lit0, lit1)
         var = len(self._fanin0)
+        self._version += 1
         self._fanin0.append(f0)
         self._fanin1.append(f1)
         self._dead.append(False)
@@ -225,6 +231,27 @@ class Aig:
             if self._fanin0[var] >= 0:
                 yield var
 
+    def arrays(self) -> tuple:
+        """NumPy compatibility view ``(fanin0, fanin1, dead)`` of the graph.
+
+        The Python lists stay canonical; this returns int64/bool array
+        copies rebuilt lazily whenever the graph has mutated since the
+        last call (an internal version counter tracks every append,
+        kill, revive and truncation).  The arrays must be treated as
+        read-only — writes are never propagated back.  Requires NumPy
+        (callers are gated on the ``numpy`` backend).
+        """
+        import numpy as np
+
+        cache = self._arrays_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1], cache[2], cache[3]
+        f0 = np.array(self._fanin0, dtype=np.int64)
+        f1 = np.array(self._fanin1, dtype=np.int64)
+        dead = np.array(self._dead, dtype=bool)
+        self._arrays_cache = (self._version, f0, f1, dead)
+        return f0, f1, dead
+
     # ------------------------------------------------------------------
     # Deletion and compaction
     # ------------------------------------------------------------------
@@ -240,6 +267,7 @@ class Aig:
             raise ValueError(f"only AND nodes can be deleted, not var {var}")
         if self._dead[var]:
             return
+        self._version += 1
         self._dead[var] = True
         key = lit_pair_key(self._fanin0[var], self._fanin1[var])
         if self._strash.get(key) == var:
@@ -261,6 +289,7 @@ class Aig:
                     del self._strash[key]
             if self._fanin0[var] == PI_FANIN:
                 raise ValueError("cannot truncate primary inputs")
+        self._version += 1
         del self._fanin0[num_vars:]
         del self._fanin1[num_vars:]
         del self._dead[num_vars:]
@@ -269,6 +298,7 @@ class Aig:
         """Undo :meth:`mark_dead` (used by speculative replacement)."""
         if not self._dead[var]:
             return
+        self._version += 1
         self._dead[var] = False
         key = lit_pair_key(self._fanin0[var], self._fanin1[var])
         self._strash.setdefault(key, var)

@@ -10,6 +10,15 @@ from __future__ import annotations
 
 from repro.aig.aig import Aig
 from repro.aig.literals import lit_var
+from repro.parallel import backend
+
+#: Below this node count the scalar scans win on constant factors.
+_VEC_MIN_NODES = 1024
+
+#: Wave cap for the vectorized level propagation: deep, narrow graphs
+#: (many waves, few nodes each) are faster on the scalar scan, so the
+#: array path bails out and restarts scalar instead of crawling.
+_VEC_MAX_WAVES = 96
 
 
 def aig_levels(aig: Aig) -> list[int]:
@@ -19,13 +28,58 @@ def aig_levels(aig: Aig) -> list[int]:
     plus the maximum fanin level — the paper's "delay of a node".
     Dead nodes get level 0.
     """
+    if backend.use_numpy() and aig.num_vars >= _VEC_MIN_NODES:
+        levels = _aig_levels_vec(aig)
+        if levels is not None:
+            return levels
     levels = [0] * aig.num_vars
-    for var in aig.and_vars():
-        f0, f1 = aig.fanins(var)
-        l0 = levels[lit_var(f0)]
-        l1 = levels[lit_var(f1)]
+    fan0 = aig._fanin0
+    fan1 = aig._fanin1
+    dead = aig._dead
+    for var in range(aig.num_vars):
+        f0 = fan0[var]
+        if f0 < 0 or dead[var]:
+            continue
+        l0 = levels[f0 >> 1]
+        l1 = levels[fan1[var] >> 1]
         levels[var] = (l0 if l0 >= l1 else l1) + 1
     return levels
+
+
+def _aig_levels_vec(aig: Aig) -> list[int] | None:
+    """Wave-front level propagation on the flat arrays.
+
+    Each wave assigns the level of every AND whose fanins are already
+    levelled — one wave per level of the graph.  Returns None when the
+    graph turns out to be deeper than :data:`_VEC_MAX_WAVES` (the
+    scalar linear scan is faster there).
+    """
+    import numpy as np
+
+    f0, f1, dead = aig.arrays()
+    levels = np.zeros(aig.num_vars, dtype=np.int64)
+    active = np.flatnonzero((f0 >= 0) & ~dead)
+    if active.size == 0:
+        return levels.tolist()
+    v0 = f0[active] >> 1
+    v1 = f1[active] >> 1
+    # A var is "settled" once its final level is known: constants, PIs
+    # and dead rows start settled at level 0.
+    settled = (f0 < 0) | dead
+    for _ in range(_VEC_MAX_WAVES):
+        ready = settled[v0] & settled[v1]
+        wave = active[ready]
+        levels[wave] = (
+            np.maximum(levels[v0[ready]], levels[v1[ready]]) + 1
+        )
+        settled[wave] = True
+        keep = ~ready
+        active = active[keep]
+        if active.size == 0:
+            return levels.tolist()
+        v0 = v0[keep]
+        v1 = v1[keep]
+    return None
 
 
 def aig_depth(aig: Aig) -> int:
@@ -45,13 +99,29 @@ def fanout_counts(aig: Aig) -> list[int]:
     A node feeding both fanins of one AND counts twice, matching ABC's
     reference counting; this is the count MFFC dereferencing relies on.
     """
+    if backend.use_numpy() and aig.num_vars >= _VEC_MIN_NODES:
+        import numpy as np
+
+        f0, f1, dead = aig.arrays()
+        live = (f0 >= 0) & ~dead
+        counts = np.bincount(
+            np.concatenate((f0[live] >> 1, f1[live] >> 1)),
+            minlength=aig.num_vars,
+        )
+        for lit in aig.pos:
+            counts[lit >> 1] += 1
+        return counts.tolist()
     counts = [0] * aig.num_vars
-    for var in aig.and_vars():
-        f0, f1 = aig.fanins(var)
-        counts[lit_var(f0)] += 1
-        counts[lit_var(f1)] += 1
+    fan0 = aig._fanin0
+    fan1 = aig._fanin1
+    dead = aig._dead
+    for var in range(aig.num_vars):
+        if fan0[var] < 0 or dead[var]:
+            continue
+        counts[fan0[var] >> 1] += 1
+        counts[fan1[var] >> 1] += 1
     for lit in aig.pos:
-        counts[lit_var(lit)] += 1
+        counts[lit >> 1] += 1
     return counts
 
 

@@ -21,7 +21,9 @@ from __future__ import annotations
 from repro import observe
 from repro.aig.aig import Aig
 from repro.aig.literals import lit_compl, lit_not_cond, lit_pair_key, lit_var
-from repro.parallel.hashtable import HashTable
+from repro.parallel import backend
+from repro.parallel.frontier import group_by_level
+from repro.parallel.hashtable import make_hash_table
 from repro.parallel.machine import ParallelMachine
 
 
@@ -47,22 +49,29 @@ def dedup_and_dangling(
 
     with observe.span("dedup", "stage"):
         levels, order = _resolved_levels(aig, alias, resolve)
-        machine.launch("dedup.levelize", [1] * max(len(order), 1))
+        machine.launch_batch(
+            "dedup.levelize", backend.const_profile(1, max(len(order), 1))
+        )
 
-        batches: dict[int, list[int]] = {}
-        for var in order:
-            if (
-                aig.is_and(var)
-                and not aig.is_dead(var)
-                and var not in alias
-            ):
-                batches.setdefault(levels[var], []).append(var)
+        live = [
+            var
+            for var in order
+            if aig.is_and(var) and not aig.is_dead(var) and var not in alias
+        ]
+        batches, _ = group_by_level(live, levels.__getitem__)
 
-        table = HashTable(expected=max(aig.num_ands * 2, 64))
+        table = make_hash_table(expected=max(aig.num_ands * 2, 64))
         duplicates = 0
-        for level in sorted(batches):
-            works = []
-            for var in batches[level]:
+        for batch in batches:
+            # Nodes of one level never depend on each other's outcome
+            # (resolved fanins sit at strictly lower levels), so folds
+            # apply up front and the irreducible rest goes through the
+            # batched table insert shared by both kernel backends.
+            works = [1] * len(batch)
+            keys = []
+            values = []
+            positions = []
+            for position, var in enumerate(batch):
                 f0, f1 = aig.fanins(var)
                 r0 = resolve(f0)
                 r1 = resolve(f1)
@@ -70,11 +79,15 @@ def dedup_and_dangling(
                 if folded is not None:
                     alias[var] = folded
                     aig.mark_dead(var)
-                    works.append(1)
                     continue
-                key0, key1 = lit_pair_key(r0, r1)
-                winner, probes = table.insert(key0, key1, var)
-                works.append(probes)
+                keys.append(lit_pair_key(r0, r1))
+                values.append(var)
+                positions.append(position)
+            winners, probes_list = table.insert_batch(keys, values)
+            for position, var, winner, probes in zip(
+                positions, values, winners, probes_list
+            ):
+                works[position] = probes
                 if winner != var:
                     alias[var] = winner << 1
                     aig.mark_dead(var)
@@ -86,7 +99,10 @@ def dedup_and_dangling(
         result, _ = aig.compact(resolve=alias)
         # Result compaction is the parallel dump of the hash table to a
         # dense array (Section III-E); host only stitches the PO list.
-        machine.launch("dedup.compact", [1] * max(result.num_ands, 1))
+        machine.launch_batch(
+            "dedup.compact",
+            backend.const_profile(1, max(result.num_ands, 1)),
+        )
         machine.host("dedup.finalize", result.num_pos)
     machine.set_tag(outer_tag)
     return result
@@ -162,7 +178,9 @@ def _remove_dangling(
             nref[lit_var(resolve(fanin))] += 1
     for po_lit in aig.pos:
         nref[lit_var(resolve(po_lit))] += 1
-    machine.launch("dedup.count_refs", [1] * max(len(live), 1))
+    machine.launch_batch(
+        "dedup.count_refs", backend.const_profile(1, max(len(live), 1))
+    )
 
     roots = [var for var in live if nref[var] == 0]
     works = []

@@ -32,6 +32,7 @@ from repro.algorithms.seq_balance import (
     _internal_mask,
     collect_cluster_inputs,
 )
+from repro.parallel import backend
 from repro.parallel.frontier import gather_unique
 from repro.parallel.hashtable import NodeHashTable
 from repro.parallel.machine import ParallelMachine
@@ -79,15 +80,17 @@ def _collapse(
     internal = _internal_mask(aig)
     # All balance kernels charge BALANCE_WORK_SCALE probe-equivalents
     # per node operation, matching the sequential meter's units.
-    machine.launch(
-        "b.mark_internal", [BALANCE_WORK_SCALE] * max(aig.num_vars, 1)
+    machine.launch_batch(
+        "b.mark_internal",
+        backend.const_profile(BALANCE_WORK_SCALE, max(aig.num_vars, 1)),
     )
 
     frontier, gather_work = gather_unique(
         (lit_var(lit) for lit in aig.pos), keep=aig.is_and
     )
-    machine.launch(
-        "b.init_frontier", [BALANCE_WORK_SCALE] * max(gather_work, 1)
+    machine.launch_batch(
+        "b.init_frontier",
+        backend.const_profile(BALANCE_WORK_SCALE, max(gather_work, 1)),
     )
     enqueued = set(frontier)
     roots: list[int] = []
@@ -107,9 +110,11 @@ def _collapse(
             keep=lambda var: aig.is_and(var) and var not in enqueued,
         )
         enqueued.update(frontier)
-        machine.launch(
+        machine.launch_batch(
             "b.gather_frontier",
-            [BALANCE_WORK_SCALE] * max(len(next_candidates), 1),
+            backend.const_profile(
+                BALANCE_WORK_SCALE, max(len(next_candidates), 1)
+            ),
         )
     return roots, inputs_of
 
@@ -131,8 +136,9 @@ def _reconstruct(
         for fanin in inputs_of[root]:
             level = max(level, level_of[lit_var(fanin)])
         level_of[root] = level + 1
-    machine.launch(
-        "b.levelize", [BALANCE_WORK_SCALE] * max(len(roots), 1)
+    machine.launch_batch(
+        "b.levelize",
+        backend.const_profile(BALANCE_WORK_SCALE, max(len(roots), 1)),
     )
 
     batches: dict[int, list[int]] = {}
@@ -167,16 +173,28 @@ def _reconstruct(
             [len(inputs_of[root]) * BALANCE_WORK_SCALE for root in batch],
         )
         # Synchronized insertion passes: one new node per subtree each.
+        # Each pass pops the two minimum-delay operands of every active
+        # subtree, creates all the combined nodes in one batched table
+        # call, and pushes the results back into the heaps.
         while True:
-            works = []
-            active = False
+            pairs = []
+            popped = []
             for heap in heaps:
                 if len(heap) < 2:
                     continue
-                active = True
                 d0, l0 = heapq.heappop(heap)
                 d1, l1 = heapq.heappop(heap)
-                merged, probes = table.get_or_create(l0, l1, alloc)
+                pairs.append((l0, l1))
+                popped.append((heap, d0, l0, d1, l1))
+            if not pairs:
+                break
+            merged_list, probes_list = table.get_or_create_batch(
+                pairs, alloc
+            )
+            works = []
+            for (heap, d0, l0, d1, l1), merged, probes in zip(
+                popped, merged_list, probes_list
+            ):
                 if merged == l0:
                     heapq.heappush(heap, (d0, merged))
                 elif merged == l1:
@@ -187,8 +205,6 @@ def _reconstruct(
                     heapq.heappush(heap, (max(d0, d1) + 1, merged))
                 # Probe + heap maintenance, in probe-equivalents.
                 works.append((probes + 5) * BALANCE_WORK_SCALE)
-            if not active:
-                break
             machine.launch("b.insertion_pass", works)
             observe.count("b.insertion_passes")
         for root, heap in zip(batch, heaps):

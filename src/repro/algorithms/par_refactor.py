@@ -37,6 +37,7 @@ from repro.algorithms.common import PassResult
 from repro.algorithms.dedup import dedup_and_dangling
 from repro.logic.resyn import ResynPlan, build_plan, plan_resynthesis
 from repro.logic.truth import simulate_cone
+from repro.parallel import backend
 from repro.parallel.frontier import gather_unique
 from repro.parallel.hashtable import NodeHashTable
 from repro.parallel.machine import ParallelMachine
@@ -80,7 +81,9 @@ def par_refactor(
         _resynthesize(working, cones, machine)
     kept = [job for job in cones if job.gain is not None and job.gain >= 0]
     # Gain filtering is a parallel stream compaction (Figure 1b).
-    machine.launch("rf.filter", [1] * max(len(cones), 1))
+    machine.launch_batch(
+        "rf.filter", backend.const_profile(1, max(len(cones), 1))
+    )
     with observe.span("rf.refine", "stage"):
         refined = _semi_sharing_refine(working, cones, kept, machine)
     observe.count("rf.cones_refined", len(refined))
@@ -97,7 +100,10 @@ def par_refactor(
         result = dedup_and_dangling(working, alias, machine)
     else:
         result, _ = working.compact(resolve=alias)
-        machine.launch("rf.compact", [1] * max(result.num_ands, 1))
+        machine.launch_batch(
+            "rf.compact",
+            backend.const_profile(1, max(result.num_ands, 1)),
+        )
     return PassResult(
         result,
         nodes_before,
@@ -131,7 +137,9 @@ def collapse_into_ffcs(
     """
     fanouts = fanout_lists(aig)
     drives_po = po_fanout_mask(aig)
-    machine.launch("rf.fanout_index", [1] * max(aig.num_vars, 1))
+    machine.launch_batch(
+        "rf.fanout_index", backend.const_profile(1, max(aig.num_vars, 1))
+    )
 
     def expandable(var: int, cone: set[int]) -> bool:
         if drives_po[var]:
@@ -146,7 +154,9 @@ def collapse_into_ffcs(
     frontier, gather_work = gather_unique(
         (lit_var(lit) for lit in aig.pos), keep=aig.is_and
     )
-    machine.launch("rf.init_frontier", [1] * max(gather_work, 1))
+    machine.launch_batch(
+        "rf.init_frontier", backend.const_profile(1, max(gather_work, 1))
+    )
     enqueued = set(frontier)
     cones: list[ConeJob] = []
     while frontier:
@@ -171,7 +181,10 @@ def collapse_into_ffcs(
             keep=lambda var: aig.is_and(var) and var not in enqueued,
         )
         enqueued.update(frontier)
-        machine.launch("rf.gather_frontier", [1] * max(len(candidates), 1))
+        machine.launch_batch(
+            "rf.gather_frontier",
+            backend.const_profile(1, max(len(candidates), 1)),
+        )
     return cones
 
 
@@ -184,13 +197,30 @@ def _resynthesize(
     aig: Aig, cones: list[ConeJob], machine: ParallelMachine
 ) -> None:
     """Resynthesize every cone; compute the gain lower bound (III-D)."""
+    # ``plan_resynthesis`` is a pure function of (table, leaf count);
+    # the NumPy backend deduplicates the ISOP/factoring work across the
+    # batch — identical plans, works and gains, cheaper wall clock.
+    # (One kernel thread per cone recomputes it on the real GPU, which
+    # is what the charged work units keep modeling.)
+    plan_cache: dict[tuple[int, int], ResynPlan | None] | None = (
+        {} if backend.use_numpy() else None
+    )
 
     def process(job: ConeJob) -> tuple[None, int]:
         cut = job.cut
         leaves = sorted(cut.leaves)
         table = simulate_cone(aig, make_lit(cut.root), leaves)
         tt_work = len(cut.cone) * max(1, (1 << len(leaves)) >> 6)
-        plan = plan_resynthesis(table, len(leaves))
+        if plan_cache is None:
+            plan = plan_resynthesis(table, len(leaves))
+        else:
+            key = (table, len(leaves))
+            if key in plan_cache:
+                plan = plan_cache[key]
+            else:
+                plan = plan_cache[key] = plan_resynthesis(
+                    table, len(leaves)
+                )
         if plan is None:
             job.gain = None  # SOP blow-up: cone filtered from replacement
             return None, tt_work
@@ -357,10 +387,13 @@ def _replace(
     # parallel kernel in both replace modes — what [9] serializes is
     # the replacement decision, not the table build.
     table = NodeHashTable(expected=max(aig.num_ands * 2, 64))
-    seed_works = []
-    for var in aig.and_vars():
-        f0, f1 = aig.fanins(var)
-        seed_works.append(table.seed(f0, f1, var))
+    survivors = list(aig.and_vars())
+    fanin_pairs = [aig.fanins(var) for var in survivors]
+    seed_works = table.seed_batch(
+        [pair[0] for pair in fanin_pairs],
+        [pair[1] for pair in fanin_pairs],
+        survivors,
+    )
     machine.launch("rf.seed_table", seed_works or [0])
 
     def alloc(key0: int, key1: int) -> int:
@@ -379,7 +412,11 @@ def _replace(
         states.append((job, template, lit_map, list(template.and_vars())))
     round_index = 0
     while True:
-        works = []
+        # One synchronized round: every still-active cone contributes
+        # its next template node; fanin literals only reference earlier
+        # rounds, so the whole round is one batched table operation.
+        pairs = []
+        active = []
         for job, template, lit_map, order in states:
             if round_index >= len(order):
                 continue
@@ -387,12 +424,14 @@ def _replace(
             f0, f1 = template.fanins(t_var)
             n0 = lit_not_cond(lit_map[lit_var(f0)], lit_compl(f0))
             n1 = lit_not_cond(lit_map[lit_var(f1)], lit_compl(f1))
-            literal, probes = table.get_or_create(n0, n1, alloc)
-            lit_map[t_var] = literal
-            works.append(probes + 1)
-        if not works:
+            pairs.append((n0, n1))
+            active.append((lit_map, t_var))
+        if not pairs:
             break
-        account("rf.insertion_round", works)
+        literals, probes_list = table.get_or_create_batch(pairs, alloc)
+        for (lit_map, t_var), literal in zip(active, literals):
+            lit_map[t_var] = literal
+        account("rf.insertion_round", [probes + 1 for probes in probes_list])
         round_index += 1
     observe.count("rf.insertion_rounds", round_index)
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from repro import observe
 from repro.aig.aig import Aig
-from repro.aig.cuts import enumerate_cuts
+from repro.aig.cuts import enumerate_cuts, enumerate_cuts_with_tables
 from repro.aig.literals import lit_var, make_lit
 from repro.aig.traversal import aig_depth, fanout_counts
 from repro.algorithms.common import (
@@ -45,6 +45,7 @@ from repro.algorithms.seq_rewrite import (
     _cone_nodes,
 )
 from repro.logic.truth import simulate_cone
+from repro.parallel import backend
 from repro.parallel.machine import ParallelMachine
 
 
@@ -77,7 +78,10 @@ def par_rewrite(
         result = dedup_and_dangling(working, view_alias, machine)
     else:
         result, _ = working.compact(resolve=view_alias)
-        machine.launch("rw.compact", [1] * max(result.num_ands, 1))
+        machine.launch_batch(
+            "rw.compact",
+            backend.const_profile(1, max(result.num_ands, 1)),
+        )
     return PassResult(
         result,
         nodes_before,
@@ -99,6 +103,8 @@ def _match_stage(
     Returns ``{root: (leaves, transform, template, est_gain)}`` for the
     nodes whose best candidate meets the gain threshold.
     """
+    if backend.use_numpy():
+        return _match_stage_vec(aig, machine, min_gain)
     cuts = enumerate_cuts(aig, REWRITE_CUT_SIZE, MAX_CUTS_PER_NODE)
     machine.launch(
         "rw.cut_enum",
@@ -132,6 +138,93 @@ def _match_stage(
         return None, work
 
     machine.kernel("rw.match", list(aig.and_vars()), match)
+    return candidates
+
+
+def _match_stage_vec(
+    aig: Aig, machine: ParallelMachine, min_gain: int
+) -> dict[int, tuple]:
+    """NumPy-backend match stage: identical candidates and kernel records.
+
+    The scalar stage recomputes, per (root, cut) item, the cut's truth
+    table (cone simulation), its cone node set and its MFFC size by
+    dereferencing shared counts — all on the *static* graph, where every
+    item is independent.  Here the cut enumeration carries composed
+    truth tables and cone sets bottom-up
+    (:func:`~repro.aig.cuts.enumerate_cuts_with_tables`), library
+    matches are memoized per distinct (function, cut width), and the
+    MFFC walk uses a local decrement map instead of mutating/restoring
+    the shared counts.  Work units are charged exactly like the scalar
+    loop (one per node, ``CUT_EVAL_WORK`` per non-trivial cut) and fed
+    through the same ``rw.match`` kernel record.
+    """
+    cuts, tables, cones = enumerate_cuts_with_tables(
+        aig, REWRITE_CUT_SIZE, MAX_CUTS_PER_NODE
+    )
+    machine.launch(
+        "rw.cut_enum",
+        [len(cuts.get(var, ())) for var in aig.and_vars()],
+    )
+    nref = fanout_counts(aig)
+    fan0 = aig._fanin0
+    fan1 = aig._fanin1
+    candidates: dict[int, tuple] = {}
+    match_cache: dict[tuple[int, int], tuple] = {}
+    works: list[int] = []
+
+    for root in aig.and_vars():
+        work = 1
+        best = None
+        for cut, table, cone in zip(cuts[root], tables[root], cones[root]):
+            if len(cut) < 2:
+                continue
+            work += CUT_EVAL_WORK
+            if len(cone) > 64:
+                # The scalar cone walk rejects blown-up cones.
+                continue
+            key = (table, len(cut))
+            hit = match_cache.get(key)
+            if hit is None:
+                transform, template = match_function(table, list(cut))
+                hit = (transform, template, template.num_ands)
+                match_cache[key] = hit
+            transform, template, template_ands = hit
+            # The MFFC is a subset of the cone (root included, leaves
+            # excluded), so ``len(cone) - template_ands`` bounds the
+            # gain.  Ties never replace the incumbent, and a best below
+            # ``min_gain`` is discarded, so cuts whose bound cannot
+            # strictly beat the incumbent — or reach the threshold at
+            # all — can skip the walk without changing the outcome.
+            bound = len(cone) - template_ands
+            if bound < min_gain:
+                continue
+            if best is not None and bound <= best[3]:
+                continue
+            # MFFC size: nodes whose references all come from inside
+            # the cone — deref_cone without touching shared ``nref``.
+            deleted: set[int] = set()
+            dec: dict[int, int] = {}
+            stack = [root]
+            while stack:
+                var = stack.pop()
+                if var in deleted:
+                    continue
+                deleted.add(var)
+                for fvar in (fan0[var] >> 1, fan1[var] >> 1):
+                    count = dec.get(fvar, 0) + 1
+                    dec[fvar] = count
+                    if nref[fvar] == count and fvar in cone:
+                        stack.append(fvar)
+            est_gain = len(deleted) - template_ands
+            if best is None or est_gain > best[3]:
+                best = (list(cut), transform, template, est_gain)
+        if best is not None and best[3] >= min_gain:
+            candidates[root] = best
+        works.append(work)
+
+    # Same KernelRecord as the scalar ``machine.kernel`` call — the
+    # per-item results are all None there, so only the profile matters.
+    machine.launch("rw.match", works)
     return candidates
 
 

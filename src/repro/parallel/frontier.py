@@ -13,6 +13,11 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable
 
+from repro.parallel import backend
+
+#: Below this batch size the scalar loops win on constant factors.
+_VEC_MIN_ITEMS = 512
+
 
 def gather_unique(
     candidates: Iterable[int],
@@ -24,17 +29,28 @@ def gather_unique(
     Returns ``(unique_items, work_units)`` where the work models one
     hash insertion per candidate.
     """
+    items = candidates if isinstance(candidates, list) else list(candidates)
+    if backend.use_numpy() and len(items) >= _VEC_MIN_ITEMS:
+        import numpy as np
+
+        uniq, first = np.unique(
+            np.asarray(items, dtype=np.int64), return_index=True
+        )
+        # np.unique sorts by value; reordering by first occurrence
+        # restores the scalar first-seen order exactly.
+        ordered = uniq[np.argsort(first, kind="stable")].tolist()
+        if keep is not None:
+            ordered = [item for item in ordered if keep(item)]
+        return ordered, len(items)
     seen: set[int] = set()
     out: list[int] = []
-    work = 0
-    for item in candidates:
-        work += 1
+    for item in items:
         if item in seen:
             continue
         seen.add(item)
         if keep is None or keep(item):
             out.append(item)
-    return out, work
+    return out, len(items)
 
 
 def partition_by_flag(
@@ -55,6 +71,22 @@ def group_by_level(
     items: list[int], level_of: Callable[[int], int]
 ) -> tuple[list[list[int]], int]:
     """Bucket items by level, ascending (parallel histogram + scatter)."""
+    if backend.use_numpy() and len(items) >= _VEC_MIN_ITEMS:
+        import numpy as np
+
+        levels = np.fromiter(
+            (level_of(item) for item in items),
+            dtype=np.int64,
+            count=len(items),
+        )
+        order = np.argsort(levels, kind="stable")
+        sorted_levels = levels[order]
+        bounds = np.flatnonzero(sorted_levels[1:] != sorted_levels[:-1]) + 1
+        sorted_items = np.asarray(items, dtype=np.int64)[order]
+        ordered = [
+            group.tolist() for group in np.split(sorted_items, bounds)
+        ]
+        return ordered, len(items)
     buckets: dict[int, list[int]] = {}
     for item in items:
         buckets.setdefault(level_of(item), []).append(item)

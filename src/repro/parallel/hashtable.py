@@ -35,6 +35,9 @@ def _hash_key(key0: int, key1: int) -> int:
 class HashTable:
     """Open-addressing hash table from (int, int) keys to int values."""
 
+    #: Overridden by the NumPy twin (``repro.parallel.vec.VecHashTable``).
+    IS_VEC = False
+
     def __init__(self, expected: int = 1024, load_factor: float = 0.5) -> None:
         if not 0.0 < load_factor < 1.0:
             raise ValueError("load factor must be in (0, 1)")
@@ -131,7 +134,10 @@ class HashTable:
                 self._value[slot] = value
                 self._size += 1
                 if observe.enabled:
-                    observe.count("hashtable.updates")
+                    # Not an update of anything resident: classified
+                    # separately so ``hashtable.updates`` counts actual
+                    # re-pointings only.
+                    observe.count("hashtable.update_inserts")
                     observe.count("hashtable.probes", probes)
                 return None, probes
             if self._key0[slot] == key0 and self._key1[slot] == key1:
@@ -143,6 +149,25 @@ class HashTable:
                 return previous, probes
             slot = (slot + 1) & mask
             probes += 1
+
+    def _insert_raw(self, key0: int, key1: int, value: int) -> int:
+        """Metric-free insert of a known-fresh key; returns probes.
+
+        Used by rehashing only: every dumped key is unique, so no hit
+        branch is needed, and the probes must not be billed as regular
+        insert work (they are maintenance, counted separately).
+        """
+        mask = len(self._value) - 1
+        slot = _hash_key(key0, key1) & mask
+        probes = 1
+        while self._value[slot] != _EMPTY:
+            slot = (slot + 1) & mask
+            probes += 1
+        self._key0[slot] = key0
+        self._key1[slot] = key1
+        self._value[slot] = value
+        self._size += 1
+        return probes
 
     # ------------------------------------------------------------------
     # Batched operations
@@ -172,6 +197,18 @@ class HashTable:
             works.append(probes)
         return out, works
 
+    def update_batch(
+        self, keys: list[tuple[int, int]], values: list[int]
+    ) -> tuple[list[int | None], list[int]]:
+        """Batched update; returns (previous values, per-item probes)."""
+        out = []
+        works = []
+        for (key0, key1), value in zip(keys, values):
+            previous, probes = self.update(key0, key1, value)
+            out.append(previous)
+            works.append(probes)
+        return out, works
+
     def dump(self) -> list[tuple[int, int, int]]:
         """All (key0, key1, value) triples, densely packed.
 
@@ -194,8 +231,24 @@ class HashTable:
         self._key1 = [_EMPTY] * capacity
         self._value = [_EMPTY] * capacity
         self._size = 0
+        rehash_probes = 0
         for key0, key1, value in pairs:
-            self.insert(key0, key1, value)
+            rehash_probes += self._insert_raw(key0, key1, value)
+        if observe.enabled:
+            observe.count("hashtable.rehash_probes", rehash_probes)
+
+
+def make_hash_table(
+    expected: int = 1024, load_factor: float = 0.5
+) -> HashTable:
+    """Backend-selected hash table (see :mod:`repro.parallel.backend`)."""
+    from repro.parallel import backend
+
+    if backend.use_numpy():
+        from repro.parallel.vec import VecHashTable
+
+        return VecHashTable(expected, load_factor)
+    return HashTable(expected, load_factor)
 
 
 class NodeHashTable:
@@ -207,7 +260,7 @@ class NodeHashTable:
     """
 
     def __init__(self, expected: int = 1024) -> None:
-        self._table = HashTable(expected)
+        self._table = make_hash_table(expected)
 
     @property
     def size(self) -> int:
@@ -219,6 +272,19 @@ class NodeHashTable:
         key0, key1 = lit_pair_key(lit0, lit1)
         _, probes = self._table.insert(key0, key1, var)
         return probes
+
+    def seed_batch(
+        self, lits0: list[int], lits1: list[int], variables: list[int]
+    ) -> list[int]:
+        """Batched :meth:`seed`; returns per-item probe works."""
+        if self._table.IS_VEC:
+            from repro.parallel import vec
+
+            return vec.seed_batch(self, lits0, lits1, variables)
+        return [
+            self.seed(lit0, lit1, var)
+            for lit0, lit1, var in zip(lits0, lits1, variables)
+        ]
 
     def get_or_create(self, lit0: int, lit1: int, alloc) -> tuple[int, int]:
         """Return the literal of AND(lit0, lit1), creating it if new.
@@ -242,6 +308,27 @@ class NodeHashTable:
         var = alloc(key0, key1)
         resident, more = self._table.insert(key0, key1, var)
         return resident << 1, probes + more
+
+    def get_or_create_batch(
+        self, pairs: list[tuple[int, int]], alloc
+    ) -> tuple[list[int], list[int]]:
+        """Batched :meth:`get_or_create` over fanin-literal pairs.
+
+        ``alloc`` is called in batch order for the items no equivalent
+        node exists for — the deterministic stand-in for the GPU's
+        atomicCAS winner-takes-all.  Returns (literals, probe works).
+        """
+        if self._table.IS_VEC:
+            from repro.parallel import vec
+
+            return vec.get_or_create_batch(self, pairs, alloc)
+        literals = []
+        works = []
+        for lit0, lit1 in pairs:
+            literal, probes = self.get_or_create(lit0, lit1, alloc)
+            literals.append(literal)
+            works.append(probes)
+        return literals, works
 
     def lookup_lit(self, lit0: int, lit1: int) -> tuple[int | None, int]:
         """Literal of an existing AND(lit0, lit1) or None, plus work."""

@@ -45,6 +45,11 @@ from typing import Any
 
 from repro import observe
 
+try:  # Optional: only the ``launch_batch`` array fast path uses it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in numpy-less CI
+    _np = None
+
 
 @dataclass(frozen=True)
 class MachineConfig:
@@ -160,6 +165,26 @@ class ParallelMachine:
         self.records.append(record)
         if observe.enabled:
             observe.machine_kernel(record, self.config)
+
+    def launch_batch(self, name: str, works) -> None:
+        """:meth:`launch` accepting an array work profile.
+
+        NumPy arrays are reduced with whole-array operations — the fast
+        path for profiles produced by the batch kernels (see
+        :func:`repro.parallel.backend.const_profile`); any other
+        sequence takes the scalar :meth:`launch` loop.  The recorded
+        :class:`KernelRecord` is identical either way.
+        """
+        if _np is not None and isinstance(works, _np.ndarray):
+            count = int(works.shape[0])
+            total = int(works.sum()) if count else 0
+            peak = int(works.max()) if count else 0
+            record = KernelRecord(name, self._tag, count, total, peak)
+            self.records.append(record)
+            if observe.enabled:
+                observe.machine_kernel(record, self.config)
+            return
+        self.launch(name, works)
 
     def host(self, name: str, work: int) -> None:
         """Record sequential host-side work (the "sequential part")."""

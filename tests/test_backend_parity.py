@@ -1,0 +1,135 @@
+"""Cross-backend parity: python and numpy kernels are bit-identical.
+
+This file enforces the contract stated in
+:mod:`repro.parallel.backend` and ``docs/BACKENDS.md``: for any input
+AIG and any optimization script, the scalar and NumPy backends must
+produce identical serialized AIGs, identical ``hashtable.*`` counters
+and identical modeled times.  Only wall-clock may differ.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import observe
+from repro.aig.io_aiger import dump_aag
+from repro.algorithms.sequences import run_sequence
+from repro.benchgen.suite import load_benchmark
+from repro.parallel import backend
+from repro.parallel.machine import ParallelMachine
+from tests.conftest import build_random_aig
+
+aig_seeds = st.integers(min_value=0, max_value=100_000)
+aig_sizes = st.integers(min_value=5, max_value=150)
+
+requires_numpy = pytest.mark.skipif(
+    not backend.HAS_NUMPY, reason="numpy backend unavailable"
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_backend():
+    yield
+    backend.set_backend(None)
+
+
+def _run_script(name: str, aig, script: str):
+    """Run ``script`` under backend ``name``; returns the parity tuple."""
+    backend.set_backend(name)
+    observe.enable()
+    machine = ParallelMachine()
+    result = run_sequence(aig, script, engine="gpu", machine=machine)
+    _, registry = observe.disable()
+    counters = {
+        key: value
+        for key, value in registry.snapshot()["counters"].items()
+        if key.startswith("hashtable")
+    }
+    return dump_aag(result.aig), counters, machine.total_time()
+
+
+def _assert_parity(make_aig, script: str) -> None:
+    aag_p, counters_p, modeled_p = _run_script("python", make_aig(), script)
+    aag_n, counters_n, modeled_n = _run_script("numpy", make_aig(), script)
+    assert aag_p == aag_n
+    assert modeled_p == modeled_n
+    assert counters_p == counters_n
+
+
+# ----------------------------------------------------------------------
+# Named-suite parity
+# ----------------------------------------------------------------------
+
+
+@requires_numpy
+@pytest.mark.parametrize(
+    ("name", "script"),
+    [
+        ("div", "b; rw; rf; b"),
+        ("vga_lcd", "resyn2"),
+    ],
+)
+def test_suite_parity(name, script):
+    _assert_parity(lambda: load_benchmark(name, 0), script)
+
+
+# ----------------------------------------------------------------------
+# Randomized resyn2 parity (hypothesis)
+# ----------------------------------------------------------------------
+
+
+@requires_numpy
+@settings(max_examples=10, deadline=None)
+@given(seed=aig_seeds, size=aig_sizes)
+def test_random_resyn2_parity(seed, size):
+    _assert_parity(
+        lambda: build_random_aig(seed, num_ands=size), "resyn2"
+    )
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+
+def test_set_backend_rejects_unknown():
+    with pytest.raises(ValueError):
+        backend.set_backend("cuda")
+
+
+def test_override_beats_environment(monkeypatch):
+    monkeypatch.setenv(backend.BACKEND_ENV, "python")
+    backend.set_backend("python")
+    assert backend.current_backend() == "python"
+    backend.set_backend(None)
+    assert backend.current_backend() == "python"
+
+
+def test_environment_selection(monkeypatch):
+    backend.set_backend(None)
+    monkeypatch.setenv(backend.BACKEND_ENV, "python")
+    assert not backend.use_numpy()
+    monkeypatch.setenv(backend.BACKEND_ENV, "bogus")
+    with pytest.raises(ValueError):
+        backend.current_backend()
+    monkeypatch.setenv(backend.BACKEND_ENV, "auto")
+    assert backend.current_backend() == (
+        "numpy" if backend.HAS_NUMPY else "python"
+    )
+
+
+@requires_numpy
+def test_const_profile_and_launch_batch_equivalence():
+    """launch_batch builds the same KernelRecord from array and list."""
+    machines = {}
+    for name in ("python", "numpy"):
+        backend.set_backend(name)
+        machine = ParallelMachine()
+        machine.launch_batch("k", backend.const_profile(3, 17))
+        machines[name] = machine
+    rec_p = machines["python"].records[0]
+    rec_n = machines["numpy"].records[0]
+    assert rec_p == rec_n
+    assert machines["python"].total_time() == machines["numpy"].total_time()

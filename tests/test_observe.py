@@ -353,7 +353,10 @@ def test_bench_smoke_case_is_deterministic():
     first = bench_smoke.run_case("voter", "b", engine="gpu")
     second = bench_smoke.run_case("voter", "b", engine="gpu")
     for row in (first, second):
+        # Wall-clock fields are the only nondeterministic ones.
         row.pop("wall_time")
+        row.pop("wall_times")
+        row.pop("speedup", None)
     assert first == second
     assert first["modeled_time"] > 0
     assert first["counters"]["machine.launches"] > 0
