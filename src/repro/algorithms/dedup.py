@@ -25,6 +25,11 @@ from repro.parallel import backend
 from repro.parallel.frontier import group_by_level
 from repro.parallel.hashtable import make_hash_table
 from repro.parallel.machine import ParallelMachine
+from repro.verify import mutations, sanitizer
+from repro.verify.invariants import (
+    check_dedup_complete,
+    check_no_dead_refs,
+)
 
 
 def dedup_and_dangling(
@@ -58,15 +63,25 @@ def dedup_and_dangling(
             for var in order
             if aig.is_and(var) and not aig.is_dead(var) and var not in alias
         ]
+        if mutations.armed and mutations.active("dedup-stale-level"):
+            _mutate_stale_level(aig, alias, resolve, levels, live)
         batches, _ = group_by_level(live, levels.__getitem__)
 
         table = make_hash_table(expected=max(aig.num_ands * 2, 64))
+        skip_merge = mutations.armed and mutations.active(
+            "dedup-skip-merge"
+        )
         duplicates = 0
         for batch in batches:
             # Nodes of one level never depend on each other's outcome
             # (resolved fanins sit at strictly lower levels), so folds
             # apply up front and the irreducible rest goes through the
             # batched table insert shared by both kernel backends.
+            # The sanitizer checks exactly that level claim: each lane
+            # writes its own node (redirect/kill) and reads its
+            # resolved fanins; a fanin written by a same-batch lane is
+            # a write-read race.
+            guard = sanitizer.batch("dedup.level")
             works = [1] * len(batch)
             keys = []
             values = []
@@ -75,6 +90,9 @@ def dedup_and_dangling(
                 f0, f1 = aig.fanins(var)
                 r0 = resolve(f0)
                 r1 = resolve(f1)
+                if sanitizer.enabled:
+                    guard.write(var, (var,))
+                    guard.read(var, (lit_var(r0), lit_var(r1)))
                 folded = _fold(r0, r1)
                 if folded is not None:
                     alias[var] = folded
@@ -89,6 +107,9 @@ def dedup_and_dangling(
             ):
                 works[position] = probes
                 if winner != var:
+                    if skip_merge:
+                        skip_merge = False
+                        continue
                     alias[var] = winner << 1
                     aig.mark_dead(var)
                     duplicates += 1
@@ -96,6 +117,12 @@ def dedup_and_dangling(
         observe.count("dedup.duplicates", duplicates)
 
         _remove_dangling(aig, alias, resolve, machine)
+        if sanitizer.enabled:
+            # In-pass protocol audit on the pre-compact graph: compact
+            # re-strashes through sharing-aware creation, which would
+            # silently repair a skipped merge or a wrongly-freed node.
+            check_dedup_complete(aig, alias, resolve)
+            check_no_dead_refs(aig, alias, resolve)
         result, _ = aig.compact(resolve=alias)
         # Result compaction is the parallel dump of the hash table to a
         # dense array (Section III-E); host only stitches the PO list.
@@ -148,6 +175,24 @@ def _resolved_levels(
     return levels, order
 
 
+def _mutate_stale_level(
+    aig: Aig, alias: dict[int, int], resolve, levels, live
+) -> None:
+    """Fault injection (``dedup-stale-level``; see repro.verify).
+
+    Copies a live fanin's level onto one node, so the node and the
+    fanin it reads land in the same concurrent batch — the ordering
+    bug the sanitizer's write-read check exists to catch.
+    """
+    live_set = set(live)
+    for var in live:
+        for fanin in aig.fanins(var):
+            fvar = lit_var(resolve(fanin))
+            if fvar != var and fvar in live_set:
+                levels[var] = levels[fvar]
+                return
+
+
 def _fold(r0: int, r1: int) -> int | None:
     """Trivial-AND folding on resolved fanins; None when irreducible."""
     key0, key1 = lit_pair_key(r0, r1)
@@ -183,6 +228,18 @@ def _remove_dangling(
     )
 
     roots = [var for var in live if nref[var] == 0]
+    if mutations.armed and mutations.active("dedup-free-live"):
+        # Fault injection: retire a PO-driving cone despite its live
+        # fanout; the no-dead-refs protocol check must flag it.
+        for po_lit in aig.pos:
+            pvar = lit_var(resolve(po_lit))
+            if (
+                aig.is_and(pvar)
+                and not aig.is_dead(pvar)
+                and pvar not in alias
+            ):
+                roots.append(pvar)
+                break
     works = []
     removed = 0
     for root in roots:

@@ -21,6 +21,7 @@ Every stage reports batch/work profiles to the
 from __future__ import annotations
 
 import heapq
+import random
 
 from repro import observe
 from repro.aig.aig import Aig
@@ -36,12 +37,21 @@ from repro.parallel import backend
 from repro.parallel.frontier import gather_unique
 from repro.parallel.hashtable import NodeHashTable
 from repro.parallel.machine import ParallelMachine
+from repro.verify import mutations, sanitizer
 
 
 def par_balance(
-    aig: Aig, machine: ParallelMachine | None = None
+    aig: Aig,
+    machine: ParallelMachine | None = None,
+    order_rng: random.Random | None = None,
 ) -> PassResult:
-    """Balance an AIG with the level-wise parallel algorithm."""
+    """Balance an AIG with the level-wise parallel algorithm.
+
+    ``order_rng`` shuffles the within-level subtree processing order of
+    the reconstruction stage — Property 3 says the resulting delay is
+    order-invariant, and the property-based tests exercise exactly
+    this knob.
+    """
     machine = machine if machine is not None else ParallelMachine()
     nodes_before = aig.num_ands
     levels_before = aig_depth(aig)
@@ -50,7 +60,9 @@ def par_balance(
         clusters, inputs_of = _collapse(aig, machine)
     observe.count("b.clusters_collapsed", len(clusters))
     with observe.span("b.reconstruct", "stage"):
-        new, lit_map = _reconstruct(aig, clusters, inputs_of, machine)
+        new, lit_map = _reconstruct(
+            aig, clusters, inputs_of, machine, order_rng=order_rng
+        )
 
     for index, po_lit in enumerate(aig.pos):
         mapped, _ = lit_map[lit_var(po_lit)]
@@ -95,11 +107,22 @@ def _collapse(
     enqueued = set(frontier)
     roots: list[int] = []
     inputs_of: dict[int, list[int]] = {}
+    # Clusters partition the AND nodes (internal nodes have exactly one
+    # non-complemented fanout, so each belongs to one cluster): one
+    # guard over the whole collapse checks the partition empirically.
+    guard = sanitizer.batch("b.collapse")
     while frontier:
         works = []
         next_candidates: list[int] = []
         for root in frontier:
-            inputs, visited = collect_cluster_inputs(aig, root, internal)
+            members: list[int] | None = (
+                [] if sanitizer.enabled else None
+            )
+            inputs, visited = collect_cluster_inputs(
+                aig, root, internal, members=members
+            )
+            if sanitizer.enabled:
+                guard.write(root, members)
             inputs_of[root] = inputs
             roots.append(root)
             works.append((visited + len(inputs)) * BALANCE_WORK_SCALE)
@@ -124,8 +147,14 @@ def _reconstruct(
     roots: list[int],
     inputs_of: dict[int, list[int]],
     machine: ParallelMachine,
+    order_rng: random.Random | None = None,
 ) -> tuple[Aig, dict[int, tuple[int, int]]]:
-    """Level-wise parallel subtree reconstruction (PIs to POs)."""
+    """Level-wise parallel subtree reconstruction (PIs to POs).
+
+    ``order_rng`` randomizes the within-level subtree order; by
+    Property 3 the delays produced are identical for every order (node
+    counts may differ through sharing, functions never do).
+    """
     # Levels of the collapsed network: a subtree's level is one more
     # than the maximum level of the subtrees rooted at its inputs.
     level_of: dict[int, int] = {0: 0}
@@ -154,8 +183,12 @@ def _reconstruct(
     def alloc(key0: int, key1: int) -> int:
         return new.add_raw_and(key0, key1) >> 1
 
+    mutate = mutations.armed and mutations.active("b-flip-input")
     for level in sorted(batches):
         batch = batches[level]
+        if order_rng is not None:
+            batch = list(batch)
+            order_rng.shuffle(batch)
         # Reconstruction table: per subtree, a min-heap of
         # (delay, literal) operands still to be combined.
         heaps = []
@@ -166,6 +199,10 @@ def _reconstruct(
                 operands.append(
                     (delay, lit_not_cond(mapped, lit_compl(fanin)))
                 )
+            if mutate and operands:
+                delay, literal = operands[0]
+                operands[0] = (delay, literal ^ 1)
+                mutate = False
             heapq.heapify(operands)
             heaps.append(operands)
         machine.launch(

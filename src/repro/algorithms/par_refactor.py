@@ -41,6 +41,7 @@ from repro.parallel import backend
 from repro.parallel.frontier import gather_unique
 from repro.parallel.hashtable import NodeHashTable
 from repro.parallel.machine import ParallelMachine
+from repro.verify import mutations, sanitizer
 
 #: The paper's maximum refactoring cut size.
 DEFAULT_CUT_SIZE = 12
@@ -159,12 +160,23 @@ def collapse_into_ffcs(
     )
     enqueued = set(frontier)
     cones: list[ConeJob] = []
+    # One guard spans the whole collapse: Theorem 1 claims *all* cones
+    # of the pass are pairwise disjoint, not just same-level ones, so
+    # every cone's member set is one write footprint.  (Leaf reads are
+    # synchronized by the replacement protocol's redirect kernel and
+    # are deliberately not registered — see docs/VERIFICATION.md.)
+    guard = sanitizer.batch("rf.collapse")
     while frontier:
         works = []
         candidates: list[int] = []
         for root in frontier:
             cut = reconv_cut(aig, root, limit, expandable=expandable)
+            if mutations.armed and mutations.active("rf-overlap-cones"):
+                if owner:
+                    cut.cone.add(next(iter(owner)))
             works.append(cut.work)
+            if sanitizer.enabled:
+                guard.write(root, cut.cone)
             for member in cut.cone:
                 previous = owner.get(member)
                 if previous is not None:
@@ -370,10 +382,15 @@ def _replace(
         else:
             machine.host(name, sum(works))
 
-    # Delete the old cones that are being replaced.
+    # Delete the old cones that are being replaced.  One lane per kept
+    # cone deletes its members concurrently; the write footprints must
+    # be disjoint (Theorem 1) or two lanes would race on a node.
+    guard = sanitizer.batch("rf.replace")
     delete_works = []
     replaced_nodes: set[int] = set()
     for job in kept:
+        if sanitizer.enabled:
+            guard.write(job.cut.root, job.cut.cone)
         for member in job.cut.cone:
             replaced_nodes.add(member)
         delete_works.append(len(job.cut.cone))
@@ -440,6 +457,8 @@ def _replace(
     for job, template, lit_map, _ in states:
         po_lit = template.pos[0]
         new_root = lit_not_cond(lit_map[lit_var(po_lit)], lit_compl(po_lit))
+        if mutations.armed and mutations.active("rf-flip-root"):
+            new_root ^= 1
         if (new_root >> 1) != job.cut.root:
             alias[job.cut.root] = new_root
     account("rf.redirect_roots", [1] * max(len(states), 1))

@@ -47,6 +47,7 @@ from repro.algorithms.seq_rewrite import (
 from repro.logic.truth import simulate_cone
 from repro.parallel import backend
 from repro.parallel.machine import ParallelMachine
+from repro.verify import mutations, sanitizer
 
 
 def par_rewrite(
@@ -243,6 +244,10 @@ def _replace_stage(
     """
     view = AliasView(aig)
     nref = resolved_fanout_counts(view)
+    # Committed MFFCs must never overlap: a cone reaching a node an
+    # earlier commit deleted means the bookkeeping (alias resolution,
+    # staleness filters) let two replacements race on the same logic.
+    guard = sanitizer.batch("rw.replace")
     insert_works: list[int] = []
     # The sequential pass walks the whole node array in topological
     # order to find the inserted cone pairs — one unit per node scanned
@@ -306,6 +311,10 @@ def _replace_stage(
             nref[lit_var(f1)] += 1
         nref[new_root >> 1] += nref[root]
         nref[root] = 0
+        if sanitizer.enabled:
+            guard.write(root, deleted)
+        if mutations.armed and mutations.active("rw-flip-root"):
+            new_root ^= 1
         view.set_alias(root, new_root)
 
     return view.alias, insert_works, host_work

@@ -101,14 +101,19 @@ def _internal_mask(aig: Aig) -> list[bool]:
 
 
 def collect_cluster_inputs(
-    aig: Aig, root: int, internal: list[bool]
+    aig: Aig,
+    root: int,
+    internal: list[bool],
+    members: list[int] | None = None,
 ) -> tuple[list[int], int]:
     """Input literals of the cluster rooted at ``root``, plus work.
 
     The traversal descends through internal nodes only; every other
     fanin edge terminates the cluster and contributes an input literal.
     Shared by the sequential and parallel balancers (the paper's
-    "collapse" of one subtree).
+    "collapse" of one subtree).  ``members``, when given, collects the
+    visited cluster variables — the write footprint the race sanitizer
+    registers per collapse lane.
     """
     inputs: list[int] = []
     stack = [root]
@@ -116,6 +121,8 @@ def collect_cluster_inputs(
     while stack:
         var = stack.pop()
         visited += 1
+        if members is not None:
+            members.append(var)
         for fanin in aig.fanins(var):
             fvar = lit_var(fanin)
             if not lit_compl(fanin) and aig.is_and(fvar) and internal[fvar]:

@@ -40,6 +40,7 @@ from repro.algorithms.seq_balance import seq_balance
 from repro.algorithms.seq_refactor import seq_refactor
 from repro.algorithms.seq_rewrite import seq_rewrite
 from repro.parallel.machine import ParallelMachine, SeqMeter
+from repro.verify import check_invariants, sanitizer
 
 #: The paper's named optimization scripts.
 NAMED_SEQUENCES = {
@@ -95,9 +96,19 @@ def run_sequence(
     max_cut_size: int = DEFAULT_CUT_SIZE,
     machine: ParallelMachine | None = None,
     meter: SeqMeter | None = None,
+    verify_invariants: bool | None = None,
 ) -> SequenceResult:
-    """Run a script on ``aig`` with the chosen engine."""
+    """Run a script on ``aig`` with the chosen engine.
+
+    ``verify_invariants`` audits every pass result with
+    :func:`repro.verify.check_invariants` (acyclicity, level
+    consistency, strashing canonicity, PO reachability); the default
+    (None) follows whether the race sanitizer is enabled.
+    """
     commands = parse_script(script)
+    check = (
+        sanitizer.enabled if verify_invariants is None else verify_invariants
+    )
     if engine == "seq":
         meter = meter if meter is not None else SeqMeter()
         result = SequenceResult(aig, meter=meter)
@@ -123,6 +134,8 @@ def run_sequence(
                     _annotate_pass(pass_span, step, step)
                     result.steps.append((command, step))
                     result.aig = step.aig
+                    if check:
+                        check_invariants(step.aig, require_reachable=True)
         return result
     if engine == "gpu":
         machine = machine if machine is not None else ParallelMachine()
@@ -141,6 +154,10 @@ def run_sequence(
                     for step in steps:
                         result.steps.append((command, step))
                         result.aig = step.aig
+                        if check:
+                            check_invariants(
+                                step.aig, require_reachable=True
+                            )
                     _annotate_pass(pass_span, steps[0], steps[-1])
         machine.set_tag("")
         return result

@@ -36,6 +36,7 @@ def random_control(
     layer_width: int,
     seed: int = 1,
     name: str = "control",
+    rng: random.Random | None = None,
 ) -> Aig:
     """Layered random control logic: shallow, wide, mux/decoder-flavoured.
 
@@ -43,8 +44,11 @@ def random_control(
     the depth at roughly ``3 * num_layers`` levels regardless of width —
     the flat level profile of the OpenCores controllers (e.g. 48M nodes
     at 114 levels for ``mem_ctrl_10xd``).
+
+    ``rng`` threads an external generator through (``seed`` is ignored
+    then) for harnesses deriving many cases from one master seed.
     """
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     aig = Aig(name)
     previous = [aig.add_pi(f"i{index}") for index in range(num_pis)]
     for _ in range(num_layers):

@@ -22,6 +22,7 @@ def mtm_random(
     seed: int = 2023,
     locality: int = 64,
     name: str = "mtm",
+    rng: random.Random | None = None,
 ) -> Aig:
     """Random AIG with roughly ``num_nodes`` AND nodes.
 
@@ -32,8 +33,12 @@ def mtm_random(
     outputs are kept as genuine outputs and the rest grouped into
     reduction trees to preserve reachability without inflating the PO
     count.
+
+    ``rng`` threads an external generator through (``seed`` is ignored
+    then), so harnesses deriving many cases from one master seed stay
+    reproducible end to end.
     """
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     aig = Aig(name)
     literals = [aig.add_pi(f"i{index}") for index in range(num_pis)]
     while aig.num_ands < num_nodes:

@@ -88,6 +88,42 @@ def _build_parser() -> argparse.ArgumentParser:
     p_cec.add_argument("right")
     p_cec.set_defaults(handler=_cmd_cec)
 
+    p_verify = sub.add_parser(
+        "verify",
+        help="optimize under the race sanitizer + invariant checks "
+        "and CEC-gate the result",
+    )
+    p_verify.add_argument("input")
+    p_verify.add_argument("-c", "--script", default="resyn2")
+    p_verify.add_argument("--cut-size", type=int, default=12)
+    p_verify.add_argument(
+        "--backend", choices=["env", "python", "numpy"], default="env",
+        help="kernel backend (default: whatever REPRO_BACKEND resolves)",
+    )
+    p_verify.set_defaults(handler=_cmd_verify)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random AIGs through random pass "
+        "scripts under all backends and sanitizer modes, CEC-gated",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument(
+        "--budget", type=int, default=30, help="number of fuzz cases"
+    )
+    p_fuzz.add_argument(
+        "--backend",
+        choices=["both", "python", "numpy", "env"],
+        default="both",
+        help="backends to differentiate ('both' runs every available "
+        "one; 'env' pins whatever REPRO_BACKEND resolves)",
+    )
+    p_fuzz.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print one progress line per case",
+    )
+    p_fuzz.set_defaults(handler=_cmd_fuzz)
+
     p_export = sub.add_parser(
         "export", help="export an AIGER file to Verilog or DOT"
     )
@@ -208,6 +244,56 @@ def _cmd_cec(args: argparse.Namespace) -> int:
         print(f"counterexample (PO {verdict.failing_output}): "
               f"{['01'[bit] for bit in verdict.counterexample]}")
     return 0 if verdict.status is CecStatus.EQUIVALENT else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.fuzz import run_case
+
+    aig = read_aiger(args.input)
+    backend_name = None if args.backend == "env" else args.backend
+    outcome = run_case(
+        aig,
+        args.script,
+        backend_name=backend_name,
+        name=args.input,
+        max_cut_size=args.cut_size,
+    )
+    print(
+        f"verify {args.input} [{args.script}] "
+        f"backend={outcome.backend}"
+    )
+    print(f"  sanitizer conflicts: {outcome.conflicts}")
+    for key in sorted(outcome.counters):
+        if key == "conflicts":
+            continue
+        print(f"    {key:<22}{outcome.counters[key]}")
+    if outcome.error is not None:
+        print(f"  {outcome.error_kind} failure: {outcome.error}")
+    else:
+        print("  invariants: ok")
+    print(f"  equivalence: {outcome.cec}")
+    print("verdict: " + ("CLEAN" if outcome.ok else "FAILED"))
+    return 0 if outcome.ok else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.parallel import backend as parallel_backend
+    from repro.verify.fuzz import run_fuzz
+
+    if args.backend == "both":
+        backends = None
+    elif args.backend == "env":
+        backends = [parallel_backend.current_backend()]
+    else:
+        backends = [args.backend]
+    report = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        backends=backends,
+        progress=print if args.verbose else None,
+    )
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def _cmd_export(args: argparse.Namespace) -> int:

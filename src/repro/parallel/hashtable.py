@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro import observe
 from repro.aig.literals import lit_pair_key
+from repro.verify import sanitizer
 
 _EMPTY = -1
 
@@ -277,6 +278,14 @@ class NodeHashTable:
         self, lits0: list[int], lits1: list[int], variables: list[int]
     ) -> list[int]:
         """Batched :meth:`seed`; returns per-item probe works."""
+        if sanitizer.enabled:
+            sanitizer.current().on_table_batch(
+                "seed",
+                [
+                    lit_pair_key(lit0, lit1)
+                    for lit0, lit1 in zip(lits0, lits1)
+                ],
+            )
         if self._table.IS_VEC:
             from repro.parallel import vec
 
@@ -318,6 +327,13 @@ class NodeHashTable:
         node exists for — the deterministic stand-in for the GPU's
         atomicCAS winner-takes-all.  Returns (literals, probe works).
         """
+        if sanitizer.enabled:
+            # Same-key items in one batch are the paper's atomicCAS
+            # arbitration case: counted as contention, never a race.
+            sanitizer.current().on_table_batch(
+                "get_or_create",
+                [lit_pair_key(lit0, lit1) for lit0, lit1 in pairs],
+            )
         if self._table.IS_VEC:
             from repro.parallel import vec
 

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro import observe
+from repro.verify import sanitizer
 
 try:  # Optional: only the ``launch_batch`` array fast path uses it.
     import numpy as _np
@@ -151,6 +152,8 @@ class ParallelMachine:
         self.records.append(record)
         if observe.enabled:
             observe.machine_kernel(record, self.config, wall_start)
+        if sanitizer.enabled:
+            sanitizer.current().on_launch(name, count, total)
         return results
 
     def launch(self, name: str, works: Sequence[int]) -> None:
@@ -165,6 +168,8 @@ class ParallelMachine:
         self.records.append(record)
         if observe.enabled:
             observe.machine_kernel(record, self.config)
+        if sanitizer.enabled:
+            sanitizer.current().on_launch(name, len(works), total)
 
     def launch_batch(self, name: str, works) -> None:
         """:meth:`launch` accepting an array work profile.
@@ -183,6 +188,8 @@ class ParallelMachine:
             self.records.append(record)
             if observe.enabled:
                 observe.machine_kernel(record, self.config)
+            if sanitizer.enabled:
+                sanitizer.current().on_launch(name, count, total)
             return
         self.launch(name, works)
 

@@ -47,6 +47,7 @@ import numpy as np
 
 from repro import observe
 from repro.parallel.hashtable import HashTable
+from repro.verify import sanitizer
 
 _EMPTY = -1
 
@@ -241,7 +242,9 @@ class VecHashTable(HashTable):
         path = np.ones(m, dtype=np.int64)
         active = np.arange(m)
         cur = (hash_keys(key0, key1) & np.uint64(mask)).astype(np.int64)
+        rounds = 0
         while active.size:
+            rounds += 1
             # Walk every active item to the first slot it stops on:
             # a key match (final hit), an empty slot, or a tentative
             # occupant with a later batch position (evictable).
@@ -286,6 +289,12 @@ class VecHashTable(HashTable):
             active = np.concatenate([claimants[~winner], evicted])
             cur = slot[active]
         self._acidx[slot[~hit]] = -1
+        if sanitizer.enabled and rounds > 1:
+            # Extra placement rounds = slot-level arbitration between
+            # batch items (the physical contention the scalar backend
+            # resolves implicitly in batch order) — a vec-only
+            # diagnostic, not part of the bit-identical contract.
+            sanitizer.current().on_evictions(rounds - 1)
         return hit, slot, path
 
     def insert_batch(self, keys, values):

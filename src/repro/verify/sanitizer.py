@@ -1,0 +1,279 @@
+"""Race/conflict sanitizer for the parallel passes.
+
+The paper's parallel replacement is data-race-free *by theorem*:
+level-wise FFC cones are pairwise disjoint (Theorem 1), balance
+clusters partition the internal nodes, and de-duplication batches only
+touch strictly-lower levels through their reads.  This module turns
+those claims into a runtime check: when enabled, every parallel batch
+registers the node footprint each lane (simulated GPU thread) writes
+and reads, and any two concurrent lanes whose footprints overlap —
+write-write or write-read — raise (or record) a
+:class:`RaceConflictError`.
+
+The sanitizer mirrors the ``repro.observe`` switchboard idiom: a
+module-level :data:`enabled` flag guards every instrumentation site, so
+the disabled path costs one attribute check.  Enable it with::
+
+    from repro.verify import sanitizer
+
+    san = sanitizer.Sanitizer(on_conflict="record")
+    sanitizer.set_sanitizer(san)
+    try:
+        ...  # run passes
+    finally:
+        sanitizer.set_sanitizer(None)
+    print(san.summary())
+
+or process-wide via ``REPRO_SANITIZE=1`` in the environment.
+
+Footprint model (see ``docs/VERIFICATION.md``):
+
+* **write** — the lane deletes, creates, redirects or re-levels the
+  node;
+* **read** — the lane's result depends on the node's current fanins
+  (leaf/operand reads synchronized by batch boundaries are *not*
+  registered: the replacement protocol orders them explicitly);
+* hash-table operations are the paper's atomicCAS-arbitrated
+  synchronization points — same-key collisions within a batch are
+  counted as *contention* (a metric), never as a race.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import observe
+
+__all__ = [
+    "BatchGuard",
+    "Conflict",
+    "NULL_GUARD",
+    "RaceConflictError",
+    "Sanitizer",
+    "current",
+    "enabled",
+    "set_sanitizer",
+]
+
+
+class RaceConflictError(AssertionError):
+    """Two concurrent lanes touched overlapping node sets."""
+
+
+class Conflict:
+    """One detected footprint overlap."""
+
+    __slots__ = ("batch", "node", "kind", "lanes")
+
+    def __init__(
+        self, batch: str, node: int, kind: str, lanes: tuple[int, int]
+    ) -> None:
+        self.batch = batch
+        self.node = node
+        self.kind = kind
+        self.lanes = lanes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Conflict({self})"
+
+    def __str__(self) -> str:
+        first, second = self.lanes
+        second_name = "<multiple>" if second < 0 else str(second)
+        return (
+            f"{self.kind} conflict in batch {self.batch!r}: node "
+            f"{self.node} touched by lanes {first} and {second_name}"
+        )
+
+
+#: Reader-lane sentinel: the node was read by more than one lane.
+_MULTI = -1
+
+
+class BatchGuard:
+    """Footprint recorder of one parallel batch.
+
+    Lanes register the node sets they write and read; overlaps between
+    *different* lanes are reported immediately.  Reads by many lanes of
+    the same node are fine (shared immutable inputs); a write is in
+    conflict with any other lane's write or read of the same node.
+    """
+
+    __slots__ = ("_san", "name", "_writer", "_reader")
+
+    def __init__(self, san: "Sanitizer", name: str) -> None:
+        self._san = san
+        self.name = name
+        self._writer: dict[int, int] = {}
+        self._reader: dict[int, int] = {}
+
+    def write(self, lane: int, nodes) -> None:
+        """Register ``nodes`` as written by ``lane``."""
+        writer = self._writer
+        reader = self._reader
+        count = 0
+        for node in nodes:
+            count += 1
+            prev = writer.get(node)
+            if prev is None:
+                writer[node] = lane
+            elif prev != lane:
+                self._san._conflict(
+                    self.name, node, "write-write", (prev, lane)
+                )
+            rlane = reader.get(node)
+            if rlane is not None and rlane != lane:
+                self._san._conflict(
+                    self.name, node, "write-read", (lane, rlane)
+                )
+        self._san._count("writes", count)
+
+    def read(self, lane: int, nodes) -> None:
+        """Register ``nodes`` as read by ``lane``."""
+        writer = self._writer
+        reader = self._reader
+        count = 0
+        for node in nodes:
+            count += 1
+            wlane = writer.get(node)
+            if wlane is not None and wlane != lane:
+                self._san._conflict(
+                    self.name, node, "write-read", (wlane, lane)
+                )
+            rlane = reader.get(node)
+            if rlane is None:
+                reader[node] = lane
+            elif rlane != lane:
+                # Remember that several lanes read this node, so a
+                # later write by *any* of them still conflicts.
+                reader[node] = _MULTI
+        self._san._count("reads", count)
+
+
+class _NullGuard:
+    """Shared do-nothing guard for call sites when the sanitizer is off."""
+
+    __slots__ = ()
+
+    def write(self, lane: int, nodes) -> None:
+        return None
+
+    def read(self, lane: int, nodes) -> None:
+        return None
+
+
+NULL_GUARD = _NullGuard()
+
+
+class Sanitizer:
+    """Conflict detector + counter registry for parallel launches.
+
+    ``on_conflict`` selects what a detected overlap does:
+
+    * ``"raise"`` (default) — raise :class:`RaceConflictError` at the
+      offending registration, pinpointing the batch and lanes;
+    * ``"record"`` — append a :class:`Conflict` to :attr:`conflicts`
+      and keep going (the fuzz harness mode: one run reports *all*
+      overlaps).
+    """
+
+    def __init__(self, on_conflict: str = "raise") -> None:
+        if on_conflict not in ("raise", "record"):
+            raise ValueError(f"unknown on_conflict {on_conflict!r}")
+        self.on_conflict = on_conflict
+        self.conflicts: list[Conflict] = []
+        self.counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Hooks (call sites guard on ``sanitizer.enabled`` first)
+    # ------------------------------------------------------------------
+
+    def batch(self, name: str) -> BatchGuard:
+        """Open a footprint guard for one parallel batch."""
+        self._count("batches")
+        return BatchGuard(self, name)
+
+    def on_launch(self, name: str, batch: int, total_work: int) -> None:
+        """Observe one kernel launch of the simulated machine."""
+        self._count("launches")
+        self._count("launch_items", batch)
+        self._count("launch_work", total_work)
+
+    def on_table_batch(self, op: str, keys) -> None:
+        """Observe one batched hash-table operation.
+
+        ``keys`` are the per-item table keys; duplicate keys within the
+        batch model the atomicCAS winner-takes-all arbitration on the
+        GPU and are counted as contention — a health metric, not a
+        race (Section III-E).
+        """
+        items = len(keys)
+        self._count("table_batches")
+        self._count("table_items", items)
+        contended = items - len(set(keys))
+        if contended:
+            self._count("table_contended", contended)
+
+    def on_evictions(self, rounds: int) -> None:
+        """Observe displacement rounds of the vectorized table insert."""
+        self._count("vec_eviction_rounds", rounds)
+
+    # ------------------------------------------------------------------
+    # Internals / reporting
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+        if observe.enabled:
+            observe.count(f"sanitizer.{name}", value)
+
+    def _conflict(
+        self, batch: str, node: int, kind: str, lanes: tuple[int, int]
+    ) -> None:
+        conflict = Conflict(batch, node, kind, lanes)
+        self._count("conflicts")
+        if self.on_conflict == "raise":
+            raise RaceConflictError(str(conflict))
+        self.conflicts.append(conflict)
+
+    @property
+    def num_conflicts(self) -> int:
+        """Conflicts seen so far (recorded or raised)."""
+        return self.counters.get("conflicts", 0)
+
+    def summary(self) -> dict[str, int]:
+        """Copy of the counter registry."""
+        return dict(self.counters)
+
+
+#: Fast global flag checked by hot-loop instrumentation sites.
+enabled: bool = False
+
+_active: Sanitizer | None = None
+
+
+def set_sanitizer(san: Sanitizer | None) -> None:
+    """Install ``san`` as the process-wide sanitizer (None disables)."""
+    global enabled, _active
+    _active = san
+    enabled = san is not None
+
+
+def current() -> Sanitizer | None:
+    """The active sanitizer, or None when disabled."""
+    return _active
+
+
+def batch(name: str):
+    """Guard for one batch from the active sanitizer (or a no-op)."""
+    if _active is None:
+        return NULL_GUARD
+    return _active.batch(name)
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get("REPRO_SANITIZE", "").strip().lower()
+    return value in ("1", "true", "on", "yes")
+
+
+if _env_enabled():  # pragma: no cover - exercised via subprocess tests
+    set_sanitizer(Sanitizer())

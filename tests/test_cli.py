@@ -85,6 +85,43 @@ def test_map_subcommand(aig_file, capsys):
     assert "verify: ok" in out
 
 
+def test_verify_subcommand_clean(aig_file, capsys):
+    aig, path = aig_file
+    assert main(["verify", str(path), "-c", "b; rw"]) == 0
+    out = capsys.readouterr().out
+    assert "sanitizer conflicts: 0" in out
+    assert "invariants: ok" in out
+    assert "equivalence: equivalent" in out
+    assert "verdict: CLEAN" in out
+
+
+def test_verify_subcommand_pinned_backend(aig_file, capsys):
+    aig, path = aig_file
+    assert main(
+        ["verify", str(path), "-c", "b", "--backend", "python"]
+    ) == 0
+    assert "backend=python" in capsys.readouterr().out
+
+
+def test_fuzz_subcommand_small_budget(capsys):
+    code = main([
+        "fuzz", "--seed", "3", "--budget", "2", "--backend", "python",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cases run          2" in out
+    assert "verdict: CLEAN" in out
+
+
+def test_fuzz_subcommand_verbose_progress(capsys):
+    code = main([
+        "fuzz", "--seed", "3", "--budget", "1", "--backend", "python",
+        "-v",
+    ])
+    assert code == 0
+    assert "[1/1]" in capsys.readouterr().out
+
+
 def test_table1_subcommand(capsys):
     assert main(["table1", "--names", "vga_lcd"]) == 0
     assert "Norm. seq. time" in capsys.readouterr().out

@@ -1,7 +1,5 @@
 """Unit tests for the batched linear-probing hash table."""
 
-import random
-
 from repro.aig.aig import Aig
 from repro.parallel.hashtable import HashTable, NodeHashTable
 
@@ -70,7 +68,6 @@ def test_batch_operations():
 
 
 def test_probe_counts_reflect_collisions():
-    random.seed(0)
     table = HashTable(expected=64)
     total_probes = 0
     for index in range(40):

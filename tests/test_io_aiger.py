@@ -134,6 +134,91 @@ def test_dump_has_sorted_and_fanins(rand_aig):
         assert out > hi >= lo
 
 
+def test_zero_po_roundtrip(tmp_path):
+    from repro.aig.aig import Aig
+
+    aig = Aig("nopo")
+    a = aig.add_pi()
+    b = aig.add_pi()
+    aig.add_and(a, b)  # dangling: unreachable without a PO
+    ascii_path = tmp_path / "nopo.aag"
+    binary_path = tmp_path / "nopo.aig"
+    write_aag(aig, ascii_path)
+    write_aig_binary(aig, binary_path)
+    for loaded in (read_aag(ascii_path), read_aig_binary(binary_path)):
+        assert loaded.num_pis == 2
+        assert loaded.num_pos == 0
+        # Only PO-reachable logic is emitted, so the dangling AND
+        # disappears in the round trip.
+        assert loaded.num_ands == 0
+
+
+def test_constant_po_roundtrip(tmp_path):
+    from repro.aig.aig import Aig
+    from repro.cec.simulate import evaluate
+
+    aig = Aig("consts")
+    aig.add_pi("x")
+    aig.add_po(0, "lo")
+    aig.add_po(1, "hi")
+    text = dump_aag(aig)
+    again = parse_aag(text)
+    assert again.pos == [0, 1]
+    assert evaluate(again, [True]) == [False, True]
+    binary_path = tmp_path / "consts.aig"
+    write_aig_binary(aig, binary_path)
+    loaded = read_aig_binary(binary_path)
+    assert evaluate(loaded, [False]) == [False, True]
+
+
+def test_duplicate_po_roundtrip(tmp_path):
+    from repro.aig.aig import Aig
+    from repro.cec.simulate import evaluate
+
+    aig = Aig("dup")
+    x = aig.add_pi()
+    y = aig.add_pi()
+    g = aig.add_and(x, y)
+    aig.add_po(g)
+    aig.add_po(g)        # same literal twice
+    aig.add_po(g ^ 1)    # and once complemented
+    for loaded in (
+        parse_aag(dump_aag(aig)),
+        _binary_roundtrip(tmp_path, aig),
+    ):
+        assert loaded.num_pos == 3
+        assert evaluate(loaded, [True, True]) == [True, True, False]
+        assert_equivalent(aig, loaded)
+
+
+def _binary_roundtrip(tmp_path, aig):
+    path = tmp_path / f"{aig.name}.aig"
+    write_aig_binary(aig, path)
+    return read_aig_binary(path)
+
+
+def test_parse_accepts_sparse_maxvar():
+    # The AIGER header's M may exceed the largest used variable.
+    aig = parse_aag("aag 9 2 0 1 1\n2\n4\n6\n6 2 4\n")
+    assert aig.num_pis == 2
+    assert aig.num_ands == 1
+    assert aig.pos == [6]
+
+
+def test_large_literal_ids_roundtrip(tmp_path):
+    # Hundreds of nodes push binary delta codes past one byte and
+    # ASCII literals past the small-int fast paths.
+    from tests.conftest import build_random_aig
+
+    aig = build_random_aig(13, num_pis=12, num_ands=700, locality=200)
+    assert aig.num_vars > 256
+    loaded = _binary_roundtrip(tmp_path, aig)
+    assert loaded.num_ands == aig.num_ands
+    assert_equivalent(aig, loaded)
+    again = parse_aag(dump_aag(aig))
+    assert_equivalent(aig, again)
+
+
 def test_binary_rejects_truncation(tmp_path, rand_aig):
     path = tmp_path / "t.aig"
     write_aig_binary(rand_aig, path)
