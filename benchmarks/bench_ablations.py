@@ -11,20 +11,22 @@
   because one parallel pass lacks on-the-fly updating.
 """
 
-from repro.algorithms.par_refactor import par_refactor
 from repro.benchgen.suite import load_benchmark
+from repro.engine import pass_fn
 from repro.experiments.metrics import format_table
+
+par_refactor = pass_fn("par_refactor")
 
 
 def _run_with_gain_mode(aig, semi_sharing: bool):
     """par_refactor with the semi-sharing refinement optionally stubbed."""
     if semi_sharing:
         return par_refactor(aig)
-    import importlib
+    import sys
 
-    # The package re-exports the function under the submodule's name,
-    # so fetch the actual module object to patch its global.
-    module = importlib.import_module("repro.algorithms.par_refactor")
+    # The registry hands out the function; ablation stubbing needs the
+    # module object owning its globals.
+    module = sys.modules[par_refactor.__module__]
     original = module._semi_sharing_refine
     module._semi_sharing_refine = lambda aig_, cones, kept, machine: []
     try:

@@ -5,12 +5,14 @@ additional area gains after refactoring, SOP balancing's delay wins
 over plain AND-balancing, and the end-to-end effect on LUT mapping.
 """
 
-from repro.algorithms.resub import seq_resub
-from repro.algorithms.seq_balance import seq_balance
-from repro.algorithms.seq_refactor import seq_refactor
-from repro.algorithms.sop_balance import seq_sop_balance
 from repro.benchgen.suite import load_benchmark
+from repro.engine import pass_fn
 from repro.experiments.metrics import format_table
+
+seq_balance = pass_fn("seq_balance")
+seq_refactor = pass_fn("seq_refactor")
+seq_resub = pass_fn("seq_resub")
+seq_sop_balance = pass_fn("seq_sop_balance")
 
 
 def test_resub_after_refactor(benchmark, bench_names):

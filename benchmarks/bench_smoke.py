@@ -41,8 +41,8 @@ import time
 from typing import Any
 
 from repro import observe
-from repro.algorithms.sequences import run_sequence
 from repro.benchgen.suite import load_benchmark
+from repro.engine import run_script
 from repro.parallel import backend
 from repro.parallel.machine import ParallelMachine
 
@@ -70,6 +70,9 @@ REPORTED_COUNTERS = (
     "rf.cones_replaced",
     "b.insertion_passes",
     "dedup.duplicates",
+    "engine.cache_hits",
+    "engine.cache_misses",
+    "engine.cache_extends",
 )
 
 #: Wall-clock repeats per (case, backend); the best is reported.
@@ -85,7 +88,7 @@ def _run_once(
     machine = ParallelMachine()
     wall_start = time.perf_counter()
     try:
-        result = run_sequence(aig, script, engine=engine, machine=machine)
+        result = run_script(aig, script, engine=engine, machine=machine)
     finally:
         wall = time.perf_counter() - wall_start
         tracer, registry = observe.disable()
@@ -114,6 +117,13 @@ def _run_once(
             if key in counters
         },
     }
+    # Derived-state cache effectiveness of the run (GraphContext).
+    lookups = counters.get("engine.cache_hits", 0) + counters.get(
+        "engine.cache_misses", 0
+    ) + counters.get("engine.cache_extends", 0)
+    if lookups:
+        reused = lookups - counters.get("engine.cache_misses", 0)
+        row["cache_hit_rate"] = round(reused / lookups, 4)
     return row, wall
 
 

@@ -1,0 +1,120 @@
+"""Capture the engine parity goldens (tests/goldens/engine_parity.json).
+
+Runs the paper's named sequences over a fixed set of deterministic
+generated AIGs — one per fuzz modality (mtm / control / deep) — under
+both engines and both kernel backends, and records the AIGER dump, the
+modeled time (full float precision via ``repr``) and the headline
+metrics counters of every run.
+
+``tests/test_engine.py`` replays the same runs through the pass engine
+and asserts bit-identical dumps, modeled times and counters, so the
+goldens pin the exact pre-refactor behavior of ``run_sequence``.  The
+file is regenerated only when behavior is *intended* to change::
+
+    PYTHONPATH=src python scripts/capture_engine_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+from repro import observe
+from repro.algorithms.sequences import run_sequence
+from repro.aig.io_aiger import dump_aag
+from repro.benchgen.control import random_control
+from repro.benchgen.random_aig import mtm_random
+from repro.parallel import backend
+
+OUTPUT = Path(__file__).resolve().parent.parent / (
+    "tests/goldens/engine_parity.json"
+)
+
+#: Counters pinned per run (work indicators that must not drift).
+GOLDEN_COUNTERS = (
+    "machine.launches",
+    "machine.kernel_work",
+    "machine.host_work",
+    "hashtable.probes",
+    "dedup.duplicates",
+)
+
+SCRIPTS = ("resyn2", "rf_resyn", "resyn")
+
+
+def golden_cases() -> list[tuple[str, object]]:
+    """The three deterministic case AIGs (one per fuzz modality)."""
+    return [
+        (
+            "mtm",
+            mtm_random(
+                num_pis=10, num_nodes=180, num_pos=4, locality=48,
+                rng=random.Random(11), name="mtm",
+            ),
+        ),
+        (
+            "control",
+            random_control(
+                num_pis=10, num_layers=3, layer_width=28,
+                rng=random.Random(22), name="control",
+            ),
+        ),
+        (
+            "deep",
+            mtm_random(
+                num_pis=8, num_nodes=120, num_pos=3, locality=6,
+                rng=random.Random(33), name="deep",
+            ),
+        ),
+    ]
+
+
+def capture() -> dict:
+    backends = ["python"]
+    if backend.HAS_NUMPY:
+        backends.append("numpy")
+    runs = []
+    for case_name, aig in golden_cases():
+        for script in SCRIPTS:
+            for engine in ("seq", "gpu"):
+                for backend_name in backends:
+                    backend.set_backend(backend_name)
+                    observe.enable()
+                    try:
+                        result = run_sequence(
+                            aig.clone(), script, engine=engine
+                        )
+                    finally:
+                        _, registry = observe.disable()
+                        backend.set_backend(None)
+                    counters = registry.snapshot()["counters"]
+                    runs.append(
+                        {
+                            "case": case_name,
+                            "script": script,
+                            "engine": engine,
+                            "backend": backend_name,
+                            "dump": dump_aag(result.aig),
+                            "modeled_time": repr(result.modeled_time()),
+                            "counters": {
+                                key: counters.get(key, 0)
+                                for key in GOLDEN_COUNTERS
+                            },
+                        }
+                    )
+    return {"format": "repro.engine-goldens/1", "runs": runs}
+
+
+def main() -> int:
+    document = capture()
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
+    with open(OUTPUT, "w", encoding="ascii") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {OUTPUT} ({len(document['runs'])} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,9 +53,21 @@ class Aig:
         self._po_names: list[str | None] = []
         self._pi_names: list[str | None] = []
         self._strash: dict[tuple[int, int], int] = {}
-        # Mutation counter + cache backing :meth:`arrays`.
+        # Mutation counters.  ``_version`` tracks *every* structural
+        # mutation (appends, kills, revives, truncations); it keys the
+        # :meth:`arrays` cache and the derived-state caches of
+        # :class:`repro.engine.context.GraphContext`.  ``_shape_version``
+        # tracks only the destructive subset (kill/revive/truncate), so
+        # a cache whose version is stale but whose shape version is not
+        # knows the graph only *grew* and may extend in place instead of
+        # recomputing.  ``_po_version`` tracks the PO list, which
+        # :meth:`add_po`/:meth:`set_po` change without touching nodes.
         self._version = 0
+        self._shape_version = 0
+        self._po_version = 0
         self._arrays_cache: tuple | None = None
+        # Lazily attached repro.engine.context.GraphContext.
+        self._graph_context = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -75,6 +87,7 @@ class Aig:
     def add_po(self, lit: int, name: str | None = None) -> int:
         """Register ``lit`` as a primary output; returns the PO index."""
         self._check_lit(lit)
+        self._po_version += 1
         self._pos.append(lit)
         self._po_names.append(name)
         return len(self._pos) - 1
@@ -82,6 +95,7 @@ class Aig:
     def set_po(self, index: int, lit: int) -> None:
         """Redirect an existing primary output to a new literal."""
         self._check_lit(lit)
+        self._po_version += 1
         self._pos[index] = lit
 
     def add_and(self, lit0: int, lit1: int) -> int:
@@ -235,22 +249,53 @@ class Aig:
         """NumPy compatibility view ``(fanin0, fanin1, dead)`` of the graph.
 
         The Python lists stay canonical; this returns int64/bool array
-        copies rebuilt lazily whenever the graph has mutated since the
-        last call (an internal version counter tracks every append,
-        kill, revive and truncation).  The arrays must be treated as
-        read-only — writes are never propagated back.  Requires NumPy
-        (callers are gated on the ``numpy`` backend).
+        views rebuilt lazily whenever the graph has mutated since the
+        last call.  Append-only growth (the common case inside a pass:
+        nodes are only ever added between kills) takes an amortized
+        fast path — the cached buffers grow geometrically and only the
+        new rows are copied — while destructive mutations (kill,
+        revive, truncate, tracked by ``_shape_version``) rebuild from
+        scratch.  The arrays must be treated as read-only — writes are
+        never propagated back.  Requires NumPy (callers are gated on
+        the ``numpy`` backend).
         """
         import numpy as np
 
+        num = len(self._fanin0)
         cache = self._arrays_cache
-        if cache is not None and cache[0] == self._version:
-            return cache[1], cache[2], cache[3]
+        if cache is not None:
+            version, shape_version, size, f0, f1, dead = cache
+            if version == self._version:
+                return f0[:size], f1[:size], dead[:size]
+            if shape_version == self._shape_version and num > size:
+                # Append-only since the cached snapshot: rows below
+                # ``size`` are unchanged, so copy only the new tail.
+                if num > len(f0):
+                    capacity = max(num, 2 * len(f0))
+                    f0 = self._grow(np, f0, size, capacity)
+                    f1 = self._grow(np, f1, size, capacity)
+                    dead = self._grow(np, dead, size, capacity)
+                f0[size:num] = self._fanin0[size:]
+                f1[size:num] = self._fanin1[size:]
+                dead[size:num] = self._dead[size:]
+                self._arrays_cache = (
+                    self._version, self._shape_version, num, f0, f1, dead
+                )
+                return f0[:num], f1[:num], dead[:num]
         f0 = np.array(self._fanin0, dtype=np.int64)
         f1 = np.array(self._fanin1, dtype=np.int64)
         dead = np.array(self._dead, dtype=bool)
-        self._arrays_cache = (self._version, f0, f1, dead)
+        self._arrays_cache = (
+            self._version, self._shape_version, num, f0, f1, dead
+        )
         return f0, f1, dead
+
+    @staticmethod
+    def _grow(np, buffer, size: int, capacity: int):
+        """A larger buffer holding the first ``size`` rows of ``buffer``."""
+        grown = np.empty(capacity, dtype=buffer.dtype)
+        grown[:size] = buffer[:size]
+        return grown
 
     # ------------------------------------------------------------------
     # Deletion and compaction
@@ -268,6 +313,7 @@ class Aig:
         if self._dead[var]:
             return
         self._version += 1
+        self._shape_version += 1
         self._dead[var] = True
         key = lit_pair_key(self._fanin0[var], self._fanin1[var])
         if self._strash.get(key) == var:
@@ -290,6 +336,7 @@ class Aig:
             if self._fanin0[var] == PI_FANIN:
                 raise ValueError("cannot truncate primary inputs")
         self._version += 1
+        self._shape_version += 1
         del self._fanin0[num_vars:]
         del self._fanin1[num_vars:]
         del self._dead[num_vars:]
@@ -299,6 +346,7 @@ class Aig:
         if not self._dead[var]:
             return
         self._version += 1
+        self._shape_version += 1
         self._dead[var] = False
         key = lit_pair_key(self._fanin0[var], self._fanin1[var])
         self._strash.setdefault(key, var)
@@ -394,13 +442,19 @@ class Aig:
         new._pi_names = list(self._pi_names)
         new._po_names = list(self._po_names)
         new._strash = dict(self._strash)
+        # Version counters carry over so derived-state caches forked
+        # from this AIG (repro.engine.context.clone_with_context)
+        # remain keyed consistently; the clone starts with no caches.
+        new._version = self._version
+        new._shape_version = self._shape_version
+        new._po_version = self._po_version
         return new
 
     def stats(self) -> dict[str, int]:
         """Summary statistics: PIs, POs, AND count and level."""
-        from repro.aig.traversal import aig_levels
+        from repro.engine.context import context_for
 
-        levels = aig_levels(self)
+        levels = context_for(self).levels()
         depth = 0
         for lit in self._pos:
             depth = max(depth, levels[lit_var(lit)])

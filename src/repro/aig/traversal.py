@@ -4,6 +4,12 @@ All functions work on live nodes only and exploit the id-order-is-
 topological invariant of :class:`repro.aig.aig.Aig`, so every pass here
 is a single linear scan — the same access pattern the paper's flat GPU
 arrays are designed for.
+
+These are the *raw* recomputation primitives.  Passes read derived
+state through :class:`repro.engine.context.GraphContext`, which
+memoizes these results per AIG keyed on its mutation counters and
+extends them in place over append-only growth; the cached values are
+exactly what these functions return.
 """
 
 from __future__ import annotations

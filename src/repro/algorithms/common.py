@@ -15,7 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.aig.aig import Aig
-from repro.aig.literals import lit_compl, lit_not_cond, lit_var
+from repro.aig.literals import lit_compl, lit_not_cond
+from repro.engine.context import resolved_fanout_counts
+
+__all__ = ["AliasView", "PassResult", "resolved_fanout_counts"]
 
 
 class AliasView:
@@ -70,21 +73,6 @@ class AliasView:
         """Undo :meth:`kill` for a speculatively deleted variable."""
         self.dead.discard(var)
         self.aig.revive(var)
-
-
-def resolved_fanout_counts(view: AliasView) -> list[int]:
-    """Reference counts over the alias-resolved live structure."""
-    aig = view.aig
-    counts = [0] * aig.num_vars
-    for var in aig.and_vars():
-        if var in view.dead or var in view.alias:
-            continue
-        f0, f1 = view.fanins(var)
-        counts[lit_var(f0)] += 1
-        counts[lit_var(f1)] += 1
-    for lit in view.resolved_pos():
-        counts[lit_var(lit)] += 1
-    return counts
 
 
 @dataclass

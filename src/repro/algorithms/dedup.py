@@ -21,6 +21,8 @@ from __future__ import annotations
 from repro import observe
 from repro.aig.aig import Aig
 from repro.aig.literals import lit_compl, lit_not_cond, lit_pair_key, lit_var
+from repro.engine.context import resolved_levels
+from repro.engine.registry import register_pass
 from repro.parallel import backend
 from repro.parallel.frontier import group_by_level
 from repro.parallel.hashtable import make_hash_table
@@ -32,6 +34,11 @@ from repro.verify.invariants import (
 )
 
 
+@register_pass(
+    "dedup",
+    engine="gpu",
+    description="de-duplication and dangling-node cleanup",
+)
 def dedup_and_dangling(
     aig: Aig,
     alias: dict[int, int],
@@ -53,7 +60,7 @@ def dedup_and_dangling(
         return lit
 
     with observe.span("dedup", "stage"):
-        levels, order = _resolved_levels(aig, alias, resolve)
+        levels, order = resolved_levels(aig, alias, resolve)
         machine.launch_batch(
             "dedup.levelize", backend.const_profile(1, max(len(order), 1))
         )
@@ -133,46 +140,6 @@ def dedup_and_dangling(
         machine.host("dedup.finalize", result.num_pos)
     machine.set_tag(outer_tag)
     return result
-
-
-def _resolved_levels(
-    aig: Aig, alias: dict[int, int], resolve
-) -> tuple[dict[int, int], list[int]]:
-    """Levels and topological order of the alias-resolved live graph.
-
-    Aliases may point *forward* (a replaced root redirects to a newer
-    node id), so stored id order is not a topological order of the
-    resolved graph; an explicit DFS from the resolved POs is required.
-    """
-    levels: dict[int, int] = {0: 0}
-    for var in aig.pis:
-        levels[var] = 0
-    order: list[int] = []
-    for po_lit in aig.pos:
-        root = lit_var(resolve(po_lit))
-        if root in levels:
-            continue
-        stack = [root]
-        while stack:
-            var = stack[-1]
-            if var in levels:
-                stack.pop()
-                continue
-            f0, f1 = aig.fanins(var)
-            pending = []
-            for fanin in (f0, f1):
-                fvar = lit_var(resolve(fanin))
-                if fvar not in levels:
-                    pending.append(fvar)
-            if pending:
-                stack.extend(pending)
-                continue
-            stack.pop()
-            v0 = lit_var(resolve(f0))
-            v1 = lit_var(resolve(f1))
-            levels[var] = max(levels[v0], levels[v1]) + 1
-            order.append(var)
-    return levels, order
 
 
 def _mutate_stale_level(

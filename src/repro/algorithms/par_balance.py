@@ -26,12 +26,17 @@ import random
 from repro import observe
 from repro.aig.aig import Aig
 from repro.aig.literals import lit_compl, lit_not_cond, lit_var
-from repro.aig.traversal import aig_depth
 from repro.algorithms.common import PassResult
 from repro.algorithms.seq_balance import (
     BALANCE_WORK_SCALE,
     _internal_mask,
     collect_cluster_inputs,
+)
+from repro.engine.context import context_for
+from repro.engine.registry import (
+    PassInvocation,
+    register_command,
+    register_pass,
 )
 from repro.parallel import backend
 from repro.parallel.frontier import gather_unique
@@ -40,6 +45,9 @@ from repro.parallel.machine import ParallelMachine
 from repro.verify import mutations, sanitizer
 
 
+@register_pass(
+    "par_balance", engine="gpu", description="level-wise parallel balancing"
+)
 def par_balance(
     aig: Aig,
     machine: ParallelMachine | None = None,
@@ -54,7 +62,7 @@ def par_balance(
     """
     machine = machine if machine is not None else ParallelMachine()
     nodes_before = aig.num_ands
-    levels_before = aig_depth(aig)
+    levels_before = context_for(aig).depth()
 
     with observe.span("b.collapse", "stage"):
         clusters, inputs_of = _collapse(aig, machine)
@@ -76,9 +84,14 @@ def par_balance(
         nodes_before,
         result.num_ands,
         levels_before,
-        aig_depth(result),
+        context_for(result).depth(),
         details={"clusters": len(clusters)},
     )
+
+
+@register_command("b", "gpu", description="level-wise parallel balancing")
+def _bind_b(invocation: PassInvocation) -> list[PassResult]:
+    return [par_balance(invocation.aig, machine=invocation.machine)]
 
 
 def _collapse(

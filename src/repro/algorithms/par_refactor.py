@@ -32,9 +32,14 @@ from repro import observe
 from repro.aig.aig import Aig
 from repro.aig.cuts import CutResult, reconv_cut
 from repro.aig.literals import lit_compl, lit_not_cond, lit_var, make_lit
-from repro.aig.traversal import aig_depth, fanout_lists, po_fanout_mask
 from repro.algorithms.common import PassResult
 from repro.algorithms.dedup import dedup_and_dangling
+from repro.engine.context import clone_with_context, context_for
+from repro.engine.registry import (
+    PassInvocation,
+    register_command,
+    register_pass,
+)
 from repro.logic.resyn import ResynPlan, build_plan, plan_resynthesis
 from repro.logic.truth import simulate_cone
 from repro.parallel import backend
@@ -60,6 +65,11 @@ class ConeJob:
         self.new_root: int | None = None
 
 
+@register_pass(
+    "par_refactor",
+    engine="gpu",
+    description="disjoint-FFC parallel refactoring",
+)
 def par_refactor(
     aig: Aig,
     max_cut_size: int = DEFAULT_CUT_SIZE,
@@ -72,8 +82,8 @@ def par_refactor(
         raise ValueError(f"unknown replace_mode {replace_mode!r}")
     machine = machine if machine is not None else ParallelMachine()
     nodes_before = aig.num_ands
-    levels_before = aig_depth(aig)
-    working = aig.clone()
+    levels_before = context_for(aig).depth()
+    working = clone_with_context(aig)
 
     with observe.span("rf.collapse", "stage"):
         cones = collapse_into_ffcs(working, max_cut_size, machine)
@@ -110,12 +120,30 @@ def par_refactor(
         nodes_before,
         result.num_ands,
         levels_before,
-        aig_depth(result),
+        context_for(result).depth(),
         details={
             "cones": len(cones),
             "replaced": len(kept),
         },
     )
+
+
+@register_command(
+    "rf", "gpu", description="parallel refactoring (zero gain built in)"
+)
+@register_command(
+    "rfz", "gpu", description="parallel refactoring (zero gain built in)"
+)
+def _bind_rf(invocation: PassInvocation) -> list[PassResult]:
+    # GPU refactoring's gain is a lower bound, so zero-gain
+    # replacements are always accepted: rf == rfz, one pass each.
+    return [
+        par_refactor(
+            invocation.aig,
+            max_cut_size=invocation.max_cut_size,
+            machine=invocation.machine,
+        )
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -136,8 +164,9 @@ def collapse_into_ffcs(
     Raises ``AssertionError`` if two cones ever overlap — Theorem 1
     says they cannot.
     """
-    fanouts = fanout_lists(aig)
-    drives_po = po_fanout_mask(aig)
+    context = context_for(aig)
+    fanouts = context.fanout_lists()
+    drives_po = context.po_fanout_mask()
     machine.launch_batch(
         "rf.fanout_index", backend.const_profile(1, max(aig.num_vars, 1))
     )

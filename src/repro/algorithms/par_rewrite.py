@@ -29,7 +29,6 @@ from repro import observe
 from repro.aig.aig import Aig
 from repro.aig.cuts import enumerate_cuts, enumerate_cuts_with_tables
 from repro.aig.literals import lit_var, make_lit
-from repro.aig.traversal import aig_depth, fanout_counts
 from repro.algorithms.common import (
     AliasView,
     PassResult,
@@ -44,12 +43,23 @@ from repro.algorithms.seq_rewrite import (
     REWRITE_CUT_SIZE,
     _cone_nodes,
 )
+from repro.engine.context import clone_with_context, context_for
+from repro.engine.registry import (
+    PassInvocation,
+    register_command,
+    register_pass,
+)
 from repro.logic.truth import simulate_cone
 from repro.parallel import backend
 from repro.parallel.machine import ParallelMachine
 from repro.verify import mutations, sanitizer
 
 
+@register_pass(
+    "par_rewrite",
+    engine="gpu",
+    description="NovelRewrite-style parallel rewriting",
+)
 def par_rewrite(
     aig: Aig,
     zero_gain: bool = False,
@@ -58,9 +68,9 @@ def par_rewrite(
 ) -> PassResult:
     """One pass of parallel rewriting; returns the compacted result."""
     machine = machine if machine is not None else ParallelMachine()
-    working = aig.clone()
-    nodes_before = working.num_ands
-    levels_before = aig_depth(working)
+    nodes_before = aig.num_ands
+    levels_before = context_for(aig).depth()
+    working = clone_with_context(aig)
     min_gain = 0 if zero_gain else 1
 
     with observe.span("rw.match", "stage"):
@@ -88,12 +98,33 @@ def par_rewrite(
         nodes_before,
         result.num_ands,
         levels_before,
-        aig_depth(result),
+        context_for(result).depth(),
         details={
             "candidates": len(candidates),
             "replaced": len(view_alias),
         },
     )
+
+
+@register_command("rw", "gpu", description="parallel rewriting")
+def _bind_rw(invocation: PassInvocation) -> list[PassResult]:
+    return [
+        par_rewrite(
+            invocation.aig, zero_gain=False, machine=invocation.machine
+        )
+    ]
+
+
+@register_command("rwz", "gpu", description="parallel rewriting x2")
+def _bind_rwz(invocation: PassInvocation) -> list[PassResult]:
+    # Two passes per rwz command (paper: "GPU resyn2 (rwz x2)").
+    first = par_rewrite(
+        invocation.aig, zero_gain=True, machine=invocation.machine
+    )
+    second = par_rewrite(
+        first.aig, zero_gain=True, machine=invocation.machine
+    )
+    return [first, second]
 
 
 def _match_stage(
@@ -111,7 +142,8 @@ def _match_stage(
         "rw.cut_enum",
         [len(cuts.get(var, ())) for var in aig.and_vars()],
     )
-    nref = fanout_counts(aig)
+    # Cached shared list: deref_cone/ref_cone_back restore it exactly.
+    nref = context_for(aig).fanout_counts()
     static_view = AliasView(aig)  # empty alias: plain resolved reads
     candidates: dict[int, tuple] = {}
 
@@ -166,7 +198,7 @@ def _match_stage_vec(
         "rw.cut_enum",
         [len(cuts.get(var, ())) for var in aig.and_vars()],
     )
-    nref = fanout_counts(aig)
+    nref = context_for(aig).fanout_counts()  # read-only here
     fan0 = aig._fanin0
     fan1 = aig._fanin1
     candidates: dict[int, tuple] = {}

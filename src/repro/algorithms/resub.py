@@ -27,7 +27,6 @@ from __future__ import annotations
 from repro.aig.aig import Aig
 from repro.aig.cuts import CutResult, reconv_cut
 from repro.aig.literals import lit_compl, lit_var, make_lit
-from repro.aig.traversal import aig_depth
 from repro.algorithms.common import (
     AliasView,
     PassResult,
@@ -36,6 +35,12 @@ from repro.algorithms.common import (
 from repro.algorithms.dedup import dedup_and_dangling
 from repro.algorithms.par_refactor import collapse_into_ffcs
 from repro.algorithms.seq_refactor import deref_cone
+from repro.engine.context import clone_with_context, context_for
+from repro.engine.registry import (
+    PassInvocation,
+    register_command,
+    register_pass,
+)
 from repro.logic.truth import full_mask
 from repro.parallel.machine import ParallelMachine, SeqMeter
 
@@ -167,6 +172,9 @@ def find_resub(
     return None, work
 
 
+@register_pass(
+    "seq_resub", engine="seq", description="windowed resubstitution"
+)
 def seq_resub(
     aig: Aig,
     max_cut_size: int = RESUB_CUT_SIZE,
@@ -175,9 +183,9 @@ def seq_resub(
 ) -> PassResult:
     """Sequential windowed resubstitution (topological, on the fly)."""
     meter = meter if meter is not None else SeqMeter()
-    working = aig.clone()
-    nodes_before = working.num_ands
-    levels_before = aig_depth(working)
+    nodes_before = aig.num_ands
+    levels_before = context_for(aig).depth()
+    working = clone_with_context(aig)
     view = AliasView(working)
     nref = resolved_fanout_counts(view)
     original_limit = working.num_vars
@@ -216,11 +224,19 @@ def seq_resub(
         nodes_before,
         result.num_ands,
         levels_before,
-        aig_depth(result),
+        context_for(result).depth(),
         details={"attempted": attempted, "replaced": replaced},
     )
 
 
+@register_command("rs", "seq", description="windowed resubstitution")
+def _bind_rs_seq(invocation: PassInvocation) -> list[PassResult]:
+    return [seq_resub(invocation.aig, meter=invocation.meter)]
+
+
+@register_pass(
+    "par_resub", engine="gpu", description="disjoint-FFC resubstitution"
+)
 def par_resub(
     aig: Aig,
     max_cut_size: int = RESUB_CUT_SIZE,
@@ -236,9 +252,9 @@ def par_resub(
     free exactly as in Section III.
     """
     machine = machine if machine is not None else ParallelMachine()
-    working = aig.clone()
-    nodes_before = working.num_ands
-    levels_before = aig_depth(working)
+    nodes_before = aig.num_ands
+    levels_before = context_for(aig).depth()
+    working = clone_with_context(aig)
 
     cones = collapse_into_ffcs(working, max_cut_size, machine)
     view = AliasView(working)
@@ -274,9 +290,14 @@ def par_resub(
         nodes_before,
         result.num_ands,
         levels_before,
-        aig_depth(result),
+        context_for(result).depth(),
         details={"cones": len(cones), "replaced": replaced},
     )
+
+
+@register_command("rs", "gpu", description="parallel resubstitution")
+def _bind_rs_gpu(invocation: PassInvocation) -> list[PassResult]:
+    return [par_resub(invocation.aig, machine=invocation.machine)]
 
 
 def _commit_resub(

@@ -19,8 +19,13 @@ import heapq
 
 from repro.aig.aig import Aig
 from repro.aig.literals import lit_compl, lit_not_cond, lit_var
-from repro.aig.traversal import aig_depth, fanout_counts
 from repro.algorithms.common import PassResult
+from repro.engine.context import context_for
+from repro.engine.registry import (
+    PassInvocation,
+    register_command,
+    register_pass,
+)
 from repro.parallel.machine import SeqMeter
 
 #: Probe-equivalent cost of one balance node operation.  Balancing is
@@ -31,11 +36,12 @@ from repro.parallel.machine import SeqMeter
 BALANCE_WORK_SCALE = 26
 
 
+@register_pass("seq_balance", engine="seq", description="AND-balancing")
 def seq_balance(aig: Aig, meter: SeqMeter | None = None) -> PassResult:
     """Balance an AIG; returns the rebuilt network and statistics."""
     meter = meter if meter is not None else SeqMeter()
     nodes_before = aig.num_ands
-    levels_before = aig_depth(aig)
+    levels_before = context_for(aig).depth()
 
     internal = _internal_mask(aig)
     meter.add(aig.num_vars * BALANCE_WORK_SCALE, "b.mark")
@@ -74,9 +80,14 @@ def seq_balance(aig: Aig, meter: SeqMeter | None = None) -> PassResult:
         nodes_before,
         result.num_ands,
         levels_before,
-        aig_depth(result),
+        context_for(result).depth(),
         details={"clusters": clusters},
     )
+
+
+@register_command("b", "seq", description="AND-balancing")
+def _bind_b(invocation: PassInvocation) -> list[PassResult]:
+    return [seq_balance(invocation.aig, meter=invocation.meter)]
 
 
 def _internal_mask(aig: Aig) -> list[bool]:
@@ -86,7 +97,7 @@ def _internal_mask(aig: Aig) -> list[bool]:
     reference is a non-complemented AND fanin edge (not a PO), per the
     cluster definition of Section IV-A.
     """
-    nref = fanout_counts(aig)
+    nref = context_for(aig).fanout_counts()
     compl_or_po = [False] * aig.num_vars
     for lit in aig.pos:
         compl_or_po[lit_var(lit)] = True

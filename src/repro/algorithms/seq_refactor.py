@@ -21,11 +21,16 @@ from __future__ import annotations
 from repro.aig.aig import Aig
 from repro.aig.cuts import reconv_cut
 from repro.aig.literals import lit_var, make_lit
-from repro.aig.traversal import aig_depth
 from repro.algorithms.common import (
     AliasView,
     PassResult,
     resolved_fanout_counts,
+)
+from repro.engine.context import clone_with_context, context_for
+from repro.engine.registry import (
+    PassInvocation,
+    register_command,
+    register_pass,
 )
 from repro.logic.resyn import build_plan, plan_resynthesis
 from repro.logic.truth import simulate_cone
@@ -35,6 +40,9 @@ from repro.parallel.machine import SeqMeter
 DEFAULT_CUT_SIZE = 12
 
 
+@register_pass(
+    "seq_refactor", engine="seq", description="cut-based refactoring"
+)
 def seq_refactor(
     aig: Aig,
     max_cut_size: int = DEFAULT_CUT_SIZE,
@@ -43,9 +51,9 @@ def seq_refactor(
 ) -> PassResult:
     """Refactor an AIG node by node; returns the compacted result."""
     meter = meter if meter is not None else SeqMeter()
-    working = aig.clone()
-    nodes_before = working.num_ands
-    levels_before = aig_depth(working)
+    nodes_before = aig.num_ands
+    levels_before = context_for(aig).depth()
+    working = clone_with_context(aig)
 
     view = AliasView(working)
     nref = resolved_fanout_counts(view)
@@ -74,9 +82,33 @@ def seq_refactor(
         nodes_before,
         result.num_ands,
         levels_before,
-        aig_depth(result),
+        context_for(result).depth(),
         details={"attempted": attempted, "replaced": replaced},
     )
+
+
+@register_command("rf", "seq", description="refactoring (positive gain)")
+def _bind_rf(invocation: PassInvocation) -> list[PassResult]:
+    return [
+        seq_refactor(
+            invocation.aig,
+            max_cut_size=invocation.max_cut_size,
+            zero_gain=False,
+            meter=invocation.meter,
+        )
+    ]
+
+
+@register_command("rfz", "seq", description="refactoring (zero gain)")
+def _bind_rfz(invocation: PassInvocation) -> list[PassResult]:
+    return [
+        seq_refactor(
+            invocation.aig,
+            max_cut_size=invocation.max_cut_size,
+            zero_gain=True,
+            meter=invocation.meter,
+        )
+    ]
 
 
 def _try_replace(

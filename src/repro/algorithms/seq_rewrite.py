@@ -17,7 +17,6 @@ from __future__ import annotations
 from repro.aig.aig import Aig
 from repro.aig.cuts import enumerate_cuts
 from repro.aig.literals import lit_var, make_lit
-from repro.aig.traversal import aig_depth
 from repro.algorithms.common import (
     AliasView,
     PassResult,
@@ -25,6 +24,12 @@ from repro.algorithms.common import (
 )
 from repro.algorithms.rewrite_lib import instantiate_template, match_function
 from repro.algorithms.seq_refactor import deref_cone, ref_cone_back
+from repro.engine.context import clone_with_context, context_for
+from repro.engine.registry import (
+    PassInvocation,
+    register_command,
+    register_pass,
+)
 from repro.logic.truth import simulate_cone
 from repro.parallel.machine import SeqMeter
 
@@ -42,6 +47,9 @@ MAX_CUTS_PER_NODE = 8
 CUT_EVAL_WORK = 120
 
 
+@register_pass(
+    "seq_rewrite", engine="seq", description="DAG-aware cut rewriting"
+)
 def seq_rewrite(
     aig: Aig,
     zero_gain: bool = False,
@@ -49,9 +57,9 @@ def seq_rewrite(
 ) -> PassResult:
     """Rewrite an AIG node by node; returns the compacted result."""
     meter = meter if meter is not None else SeqMeter()
-    working = aig.clone()
-    nodes_before = working.num_ands
-    levels_before = aig_depth(working)
+    nodes_before = aig.num_ands
+    levels_before = context_for(aig).depth()
+    working = clone_with_context(aig)
 
     cuts = enumerate_cuts(working, REWRITE_CUT_SIZE, MAX_CUTS_PER_NODE)
     meter.add(
@@ -84,9 +92,23 @@ def seq_rewrite(
         nodes_before,
         result.num_ands,
         levels_before,
-        aig_depth(result),
+        context_for(result).depth(),
         details={"attempted": attempted, "replaced": replaced},
     )
+
+
+@register_command("rw", "seq", description="rewriting (positive gain)")
+def _bind_rw(invocation: PassInvocation) -> list[PassResult]:
+    return [
+        seq_rewrite(invocation.aig, zero_gain=False, meter=invocation.meter)
+    ]
+
+
+@register_command("rwz", "seq", description="rewriting (zero gain)")
+def _bind_rwz(invocation: PassInvocation) -> list[PassResult]:
+    return [
+        seq_rewrite(invocation.aig, zero_gain=True, meter=invocation.meter)
+    ]
 
 
 def _rewrite_node(

@@ -1,4 +1,11 @@
-"""Optimization sequences (ABC-style scripts) over both engines.
+"""Optimization sequences — compatibility front for :mod:`repro.engine`.
+
+The script vocabulary, the command-to-pass bindings and the runner all
+live in the engine now (:mod:`repro.engine.registry` registers the
+commands, :mod:`repro.engine.scheduler` runs parsed scripts); this
+module keeps the historical import surface — ``run_sequence``,
+``parse_script``, ``NAMED_SEQUENCES``, ``SequenceResult`` — stable for
+existing callers and tests.
 
 A *sequence* is a semicolon-separated script of commands:
 
@@ -7,6 +14,7 @@ A *sequence* is a semicolon-separated script of commands:
 ``rwz``  rewriting accepting zero-gain replacements
 ``rf``   refactoring (positive gain only, sequential engine)
 ``rfz``  refactoring accepting zero-gain replacements
+``rs``   resubstitution (this library's extension)
 
 Named scripts from the paper (Section V-B):
 
@@ -14,216 +22,38 @@ Named scripts from the paper (Section V-B):
 * ``rf_resyn`` = ``b; rf; rfz; b; rfz; b``
 * ``resyn``    = ``b; rw; rwz; b; rwz; b``
 
-Engine semantics follow the paper exactly:
-
-* **seq** — the ABC baseline: every command maps to its sequential pass.
-* **gpu** — the parallel engine: GPU refactoring always accepts
-  zero-gain replacements (its gain is a lower bound), so ``rf`` and
-  ``rfz`` are the same command and run **one** pass each; every ``rwz``
-  runs **two** passes of parallel rewriting (the paper's
-  "GPU resyn2 (rwz ×2)"), ``rw`` one.  Balancing maps to the level-wise
-  parallel pass.  Each command tags the machine trace so Figure 8's
-  per-command breakdown can be reconstructed.
+Engine semantics follow the paper exactly — see the command binders in
+the individual pass modules: GPU refactoring always accepts zero-gain
+replacements (``rf`` == ``rfz``, one pass each), every GPU ``rwz`` runs
+two passes of parallel rewriting (the paper's "GPU resyn2 (rwz ×2)"),
+and each command tags the machine trace so Figure 8's per-command
+breakdown can be reconstructed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro import observe
 from repro.aig.aig import Aig
-from repro.algorithms.common import PassResult
-from repro.algorithms.par_balance import par_balance
-from repro.algorithms.par_refactor import DEFAULT_CUT_SIZE, par_refactor
-from repro.algorithms.par_rewrite import par_rewrite
-from repro.algorithms.seq_balance import seq_balance
-from repro.algorithms.seq_refactor import seq_refactor
-from repro.algorithms.seq_rewrite import seq_rewrite
-from repro.parallel.machine import ParallelMachine, SeqMeter
-from repro.verify import check_invariants, sanitizer
+from repro.engine.registry import DEFAULT_MAX_CUT_SIZE as DEFAULT_CUT_SIZE
+from repro.engine.registry import (
+    NAMED_SEQUENCES,
+    VALID_COMMANDS,
+    parse_script,
+    pass_fn,
+)
+from repro.engine.scheduler import SequenceResult, run_script
+from repro.parallel.machine import ParallelMachine
 
-#: The paper's named optimization scripts.
-NAMED_SEQUENCES = {
-    "resyn": "b; rw; rwz; b; rwz; b",
-    "resyn2": "b; rw; rf; b; rw; rwz; b; rfz; rwz; b",
-    "rf_resyn": "b; rf; rfz; b; rfz; b",
-}
+#: The engine's script runner under its historical name.
+run_sequence = run_script
 
-#: ``rs`` (resubstitution) is this library's extension implementing the
-#: paper's stated future work; the other five commands are the paper's.
-VALID_COMMANDS = ("b", "rw", "rwz", "rf", "rfz", "rs")
-
-
-def parse_script(script: str) -> list[str]:
-    """Split a script into commands, resolving named sequences."""
-    script = NAMED_SEQUENCES.get(script.strip(), script)
-    commands = [token.strip() for token in script.split(";") if token.strip()]
-    for command in commands:
-        if command not in VALID_COMMANDS:
-            raise ValueError(
-                f"unknown command {command!r}; valid: {VALID_COMMANDS}"
-            )
-    return commands
-
-
-@dataclass
-class SequenceResult:
-    """Outcome of running a script on one AIG."""
-
-    aig: Aig
-    steps: list[tuple[str, PassResult]] = field(default_factory=list)
-    machine: ParallelMachine | None = None
-    meter: SeqMeter | None = None
-
-    @property
-    def nodes(self) -> int:
-        """Live AND count of the current result."""
-        return self.aig.num_ands
-
-    def modeled_time(self) -> float:
-        """Modeled runtime: GPU total or metered sequential time."""
-        if self.machine is not None:
-            return self.machine.total_time()
-        if self.meter is not None:
-            return self.meter.time()
-        raise ValueError("no timing source recorded")
-
-
-def run_sequence(
-    aig: Aig,
-    script: str,
-    engine: str = "seq",
-    max_cut_size: int = DEFAULT_CUT_SIZE,
-    machine: ParallelMachine | None = None,
-    meter: SeqMeter | None = None,
-    verify_invariants: bool | None = None,
-) -> SequenceResult:
-    """Run a script on ``aig`` with the chosen engine.
-
-    ``verify_invariants`` audits every pass result with
-    :func:`repro.verify.check_invariants` (acyclicity, level
-    consistency, strashing canonicity, PO reachability); the default
-    (None) follows whether the race sanitizer is enabled.
-    """
-    commands = parse_script(script)
-    check = (
-        sanitizer.enabled if verify_invariants is None else verify_invariants
-    )
-    if engine == "seq":
-        meter = meter if meter is not None else SeqMeter()
-        result = SequenceResult(aig, meter=meter)
-        with observe.span(
-            "run_sequence", "sequence", script=script, engine="seq"
-        ):
-            for index, command in enumerate(commands):
-                with observe.span(
-                    command, "pass", engine="seq", index=index
-                ) as pass_span:
-                    metered_before = meter.time()
-                    step = _run_seq_command(
-                        result.aig, command, max_cut_size, meter
-                    )
-                    # The sequential engine has no machine trace, so
-                    # the pass's metered time advances the modeled
-                    # clock through one explicit host event.
-                    observe.event(
-                        f"seq.{command}",
-                        "host",
-                        modeled=meter.time() - metered_before,
-                    )
-                    _annotate_pass(pass_span, step, step)
-                    result.steps.append((command, step))
-                    result.aig = step.aig
-                    if check:
-                        check_invariants(step.aig, require_reachable=True)
-        return result
-    if engine == "gpu":
-        machine = machine if machine is not None else ParallelMachine()
-        result = SequenceResult(aig, machine=machine)
-        with observe.span(
-            "run_sequence", "sequence", script=script, engine="gpu"
-        ):
-            for index, command in enumerate(commands):
-                machine.set_tag(command)
-                with observe.span(
-                    command, "pass", engine="gpu", index=index
-                ) as pass_span:
-                    steps = _run_gpu_command(
-                        result.aig, command, max_cut_size, machine
-                    )
-                    for step in steps:
-                        result.steps.append((command, step))
-                        result.aig = step.aig
-                        if check:
-                            check_invariants(
-                                step.aig, require_reachable=True
-                            )
-                    _annotate_pass(pass_span, steps[0], steps[-1])
-        machine.set_tag("")
-        return result
-    raise ValueError(f"unknown engine {engine!r} (use 'seq' or 'gpu')")
-
-
-def _annotate_pass(pass_span, first: PassResult, last: PassResult) -> None:
-    """Attach QoR before/after numbers to a pass span."""
-    pass_span.annotate(
-        nodes_before=first.nodes_before,
-        nodes_after=last.nodes_after,
-        levels_before=first.levels_before,
-        levels_after=last.levels_after,
-    )
-
-
-def _run_seq_command(
-    aig: Aig, command: str, max_cut_size: int, meter: SeqMeter
-) -> PassResult:
-    if command == "b":
-        return seq_balance(aig, meter=meter)
-    if command == "rw":
-        return seq_rewrite(aig, zero_gain=False, meter=meter)
-    if command == "rwz":
-        return seq_rewrite(aig, zero_gain=True, meter=meter)
-    if command == "rf":
-        return seq_refactor(
-            aig, max_cut_size=max_cut_size, zero_gain=False, meter=meter
-        )
-    if command == "rfz":
-        return seq_refactor(
-            aig, max_cut_size=max_cut_size, zero_gain=True, meter=meter
-        )
-    if command == "rs":
-        from repro.algorithms.resub import seq_resub
-
-        return seq_resub(aig, meter=meter)
-    raise AssertionError(command)
-
-
-def _run_gpu_command(
-    aig: Aig,
-    command: str,
-    max_cut_size: int,
-    machine: ParallelMachine,
-) -> list[PassResult]:
-    if command == "b":
-        return [par_balance(aig, machine=machine)]
-    if command == "rw":
-        return [par_rewrite(aig, zero_gain=False, machine=machine)]
-    if command == "rwz":
-        # Two passes per rwz command (paper: "GPU resyn2 (rwz x2)").
-        first = par_rewrite(aig, zero_gain=True, machine=machine)
-        second = par_rewrite(first.aig, zero_gain=True, machine=machine)
-        return [first, second]
-    if command in ("rf", "rfz"):
-        # GPU refactoring's gain is a lower bound, so zero-gain
-        # replacements are always accepted: rf == rfz, one pass each.
-        return [
-            par_refactor(aig, max_cut_size=max_cut_size, machine=machine)
-        ]
-    if command == "rs":
-        from repro.algorithms.resub import par_resub
-
-        return [par_resub(aig, machine=machine)]
-    raise AssertionError(command)
+__all__ = [
+    "NAMED_SEQUENCES",
+    "VALID_COMMANDS",
+    "SequenceResult",
+    "gpu_refactor_repeated",
+    "parse_script",
+    "run_sequence",
+]
 
 
 def gpu_refactor_repeated(
@@ -233,6 +63,7 @@ def gpu_refactor_repeated(
     machine: ParallelMachine | None = None,
 ) -> SequenceResult:
     """Repeated GPU refactoring — Table II's "GPU rf (×2)" column."""
+    par_refactor = pass_fn("par_refactor")
     machine = machine if machine is not None else ParallelMachine()
     machine.set_tag("rf")
     result = SequenceResult(aig, machine=machine)

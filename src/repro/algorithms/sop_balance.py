@@ -19,8 +19,9 @@ import heapq
 from repro.aig.aig import Aig
 from repro.aig.cuts import reconv_cut
 from repro.aig.literals import lit_compl, lit_not_cond, lit_var, make_lit
-from repro.aig.traversal import aig_depth
 from repro.algorithms.common import PassResult
+from repro.engine.context import context_for
+from repro.engine.registry import register_pass
 from repro.logic.isop import isop
 from repro.logic.truth import full_mask, simulate_cone
 from repro.parallel.machine import SeqMeter
@@ -32,6 +33,9 @@ SOP_BALANCE_CUT = 6
 MAX_SOP_CUBES = 24
 
 
+@register_pass(
+    "seq_sop_balance", engine="seq", description="SOP balancing"
+)
 def seq_sop_balance(
     aig: Aig,
     max_cut_size: int = SOP_BALANCE_CUT,
@@ -40,7 +44,7 @@ def seq_sop_balance(
     """Delay-optimize an AIG by balanced-SOP resynthesis per node."""
     meter = meter if meter is not None else SeqMeter()
     nodes_before = aig.num_ands
-    levels_before = aig_depth(aig)
+    levels_before = context_for(aig).depth()
 
     new = Aig(aig.name)
     mapped: dict[int, tuple[int, int]] = {0: (0, 0)}  # var -> (lit, arrival)
@@ -76,7 +80,7 @@ def seq_sop_balance(
         nodes_before,
         result.num_ands,
         levels_before,
-        aig_depth(result),
+        context_for(result).depth(),
         details={"rebuilt": rebuilt},
     )
 

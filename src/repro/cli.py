@@ -6,6 +6,7 @@ Subcommands::
     repro-aig gen    multiplier --scale 2 -o mult_2xd.aag
     repro-aig opt    -c "b; rw; rf" --engine gpu circuit.aag -o out.aag
     repro-aig opt    -c resyn2 --trace trace.json --metrics circuit.aag
+    repro-aig opt    --list-passes
     repro-aig cec    left.aag right.aag
     repro-aig export circuit.aag --format verilog -o circuit.v
     repro-aig map    circuit.aag -k 6 [--choices]
@@ -24,8 +25,8 @@ import sys
 
 from repro import observe
 from repro.aig.io_aiger import read_aiger, write_aag
-from repro.algorithms.sequences import run_sequence
 from repro.benchgen.suite import SUITE_ORDER, load_benchmark
+from repro.engine import list_commands, list_passes, parse_script, run_script
 from repro.cec.equivalence import CecStatus, check_equivalence
 from repro.experiments import tables
 from repro.observe import export
@@ -63,7 +64,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_gen.set_defaults(handler=_cmd_gen)
 
     p_opt = sub.add_parser("opt", help="optimize an AIGER file")
-    p_opt.add_argument("input")
+    p_opt.add_argument("input", nargs="?")
+    p_opt.add_argument(
+        "--list-passes", action="store_true",
+        help="list the registered passes and script commands, then exit",
+    )
     p_opt.add_argument("-c", "--script", default="resyn2")
     p_opt.add_argument("--engine", choices=["seq", "gpu"], default="gpu")
     p_opt.add_argument("--cut-size", type=int, default=12)
@@ -184,13 +189,25 @@ def _cmd_gen(args: argparse.Namespace) -> int:
 
 
 def _cmd_opt(args: argparse.Namespace) -> int:
+    if args.list_passes:
+        _print_pass_registry()
+        return 0
+    if args.input is None:
+        print("error: input file required (or use --list-passes)",
+              file=sys.stderr)
+        return 2
+    try:
+        parse_script(args.script)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     aig = read_aiger(args.input)
     before = aig.stats()
     observing = bool(args.trace or args.metrics)
     if observing:
         observe.enable()
     try:
-        result = run_sequence(
+        result = run_script(
             aig, args.script, engine=args.engine,
             max_cut_size=args.cut_size,
         )
@@ -233,6 +250,20 @@ def _cmd_opt(args: argparse.Namespace) -> int:
         write_aag(result.aig, args.output)
         print(f"wrote {args.output}")
     return 0
+
+
+def _print_pass_registry() -> None:
+    """Print the registered passes and script-command bindings."""
+    print("passes:")
+    for spec in list_passes():
+        print(f"  {spec.name:<18}[{spec.engine:<3}]  {spec.description}")
+    print("script commands:")
+    for spec in sorted(
+        list_commands(), key=lambda spec: (spec.command, spec.engine)
+    ):
+        print(
+            f"  {spec.command:<4}[{spec.engine}]  {spec.description}"
+        )
 
 
 def _cmd_cec(args: argparse.Namespace) -> int:
@@ -313,7 +344,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
     aig = read_aiger(args.input)
     if args.choices:
-        optimized = run_sequence(aig, "resyn2", engine="gpu").aig
+        optimized = run_script(aig, "resyn2", engine="gpu").aig
         network, union = map_with_choices([optimized, aig], k=args.k)
         reference = union
     else:

@@ -1,0 +1,157 @@
+"""Script scheduler: runs parsed scripts through the pass registry.
+
+The scheduler owns everything a script run shares across commands — the
+timing sink (:class:`~repro.parallel.machine.ParallelMachine` or
+:class:`~repro.parallel.machine.SeqMeter`), the observe spans, the
+invariant auditing — and delegates each command's semantics to the
+binder registered for it (:mod:`repro.engine.registry`).  Each pass
+reads its derived state through the AIG's attached
+:class:`~repro.engine.context.GraphContext`, so consecutive commands in
+a script reuse levels and fanouts instead of recomputing them.
+
+The control flow is the exact shape the pre-engine ``run_sequence``
+had, preserved step for step because the observable trace depends on
+it: one span per command, the sequential engine's metered host event
+(``seq.{command}``), the GPU engine's machine tag set *before* the
+command span opens, and per-step invariant audits following the race
+sanitizer's switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro import observe
+from repro.aig.aig import Aig
+from repro.engine.registry import (
+    DEFAULT_MAX_CUT_SIZE,
+    PassInvocation,
+    command_binder,
+    parse_script,
+)
+from repro.parallel.machine import ParallelMachine, SeqMeter
+from repro.verify import check_invariants, sanitizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Type-only: algorithms.common imports repro.engine at runtime.
+    from repro.algorithms.common import PassResult
+
+
+@dataclass
+class SequenceResult:
+    """Outcome of running a script on one AIG."""
+
+    aig: Aig
+    steps: list[tuple[str, PassResult]] = field(default_factory=list)
+    machine: ParallelMachine | None = None
+    meter: SeqMeter | None = None
+
+    @property
+    def nodes(self) -> int:
+        """Live AND count of the current result."""
+        return self.aig.num_ands
+
+    def modeled_time(self) -> float:
+        """Modeled runtime: GPU total or metered sequential time."""
+        if self.machine is not None:
+            return self.machine.total_time()
+        if self.meter is not None:
+            return self.meter.time()
+        raise ValueError("no timing source recorded")
+
+
+def run_script(
+    aig: Aig,
+    script: str,
+    engine: str = "seq",
+    max_cut_size: int = DEFAULT_MAX_CUT_SIZE,
+    machine: ParallelMachine | None = None,
+    meter: SeqMeter | None = None,
+    verify_invariants: bool | None = None,
+) -> SequenceResult:
+    """Run a script on ``aig`` with the chosen engine.
+
+    ``verify_invariants`` audits every pass result with
+    :func:`repro.verify.check_invariants` (acyclicity, level
+    consistency, strashing canonicity, PO reachability); the default
+    (None) follows whether the race sanitizer is enabled.
+    """
+    commands = parse_script(script)
+    check = (
+        sanitizer.enabled if verify_invariants is None else verify_invariants
+    )
+    if engine == "seq":
+        meter = meter if meter is not None else SeqMeter()
+        result = SequenceResult(aig, meter=meter)
+        with observe.span(
+            "run_sequence", "sequence", script=script, engine="seq"
+        ):
+            for index, command in enumerate(commands):
+                binder = command_binder(command, "seq")
+                with observe.span(
+                    command, "pass", engine="seq", index=index
+                ) as pass_span:
+                    metered_before = meter.time()
+                    steps = binder(
+                        PassInvocation(
+                            result.aig,
+                            max_cut_size=max_cut_size,
+                            meter=meter,
+                        )
+                    )
+                    # The sequential engine has no machine trace, so
+                    # the pass's metered time advances the modeled
+                    # clock through one explicit host event.
+                    observe.event(
+                        f"seq.{command}",
+                        "host",
+                        modeled=meter.time() - metered_before,
+                    )
+                    _annotate_pass(pass_span, steps[0], steps[-1])
+                    for step in steps:
+                        result.steps.append((command, step))
+                        result.aig = step.aig
+                        if check:
+                            check_invariants(step.aig, require_reachable=True)
+        return result
+    if engine == "gpu":
+        machine = machine if machine is not None else ParallelMachine()
+        result = SequenceResult(aig, machine=machine)
+        with observe.span(
+            "run_sequence", "sequence", script=script, engine="gpu"
+        ):
+            for index, command in enumerate(commands):
+                binder = command_binder(command, "gpu")
+                machine.set_tag(command)
+                with observe.span(
+                    command, "pass", engine="gpu", index=index
+                ) as pass_span:
+                    steps = binder(
+                        PassInvocation(
+                            result.aig,
+                            max_cut_size=max_cut_size,
+                            machine=machine,
+                        )
+                    )
+                    for step in steps:
+                        result.steps.append((command, step))
+                        result.aig = step.aig
+                        if check:
+                            check_invariants(
+                                step.aig, require_reachable=True
+                            )
+                    _annotate_pass(pass_span, steps[0], steps[-1])
+        machine.set_tag("")
+        return result
+    raise ValueError(f"unknown engine {engine!r} (use 'seq' or 'gpu')")
+
+
+def _annotate_pass(pass_span, first: PassResult, last: PassResult) -> None:
+    """Attach QoR before/after numbers to a pass span."""
+    pass_span.annotate(
+        nodes_before=first.nodes_before,
+        nodes_after=last.nodes_after,
+        levels_before=first.levels_before,
+        levels_after=last.levels_after,
+    )

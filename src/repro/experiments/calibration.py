@@ -22,11 +22,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.algorithms.par_balance import par_balance
-from repro.algorithms.seq_balance import seq_balance
-from repro.algorithms.seq_refactor import seq_refactor
 from repro.algorithms.sequences import gpu_refactor_repeated
 from repro.benchgen.suite import load_suite
+from repro.engine import pass_fn
 from repro.experiments.metrics import geomean
 from repro.parallel.machine import (
     KernelRecord,
@@ -34,6 +32,11 @@ from repro.parallel.machine import (
     ParallelMachine,
     SeqMeter,
 )
+
+# Pass entry points resolve through the engine registry.
+par_balance = pass_fn("par_balance")
+seq_balance = pass_fn("seq_balance")
+seq_refactor = pass_fn("seq_refactor")
 
 #: The paper's geomean acceleration targets (Table II).
 TARGET_BALANCE_ACCEL = 14.8

@@ -19,14 +19,10 @@ algorithms, times from the calibrated machine model.
 
 from __future__ import annotations
 
-from repro.algorithms.par_balance import par_balance
-from repro.algorithms.par_refactor import par_refactor
-from repro.algorithms.par_rewrite import par_rewrite
-from repro.algorithms.seq_balance import seq_balance
-from repro.algorithms.seq_refactor import seq_refactor
-from repro.algorithms.sequences import gpu_refactor_repeated, run_sequence
+from repro.algorithms.sequences import gpu_refactor_repeated
 from repro.benchgen.enlarge import enlarge
 from repro.benchgen.suite import SUITE_ORDER, load_benchmark, load_suite
+from repro.engine import pass_fn, run_script
 from repro.experiments.metrics import (
     format_bar_chart,
     format_table,
@@ -34,6 +30,14 @@ from repro.experiments.metrics import (
     safe_ratio,
 )
 from repro.parallel.machine import MachineConfig, ParallelMachine, SeqMeter
+
+# Pass entry points resolve through the engine registry — the
+# experiments layer holds no direct pass imports.
+par_balance = pass_fn("par_balance")
+par_refactor = pass_fn("par_refactor")
+par_rewrite = pass_fn("par_rewrite")
+seq_balance = pass_fn("seq_balance")
+seq_refactor = pass_fn("seq_refactor")
 
 #: Default cut size for refactoring experiments (the paper's setting).
 CUT_SIZE = 12
@@ -270,12 +274,12 @@ def run_table3(
             "levels": aig.stats()["levels"],
         }
         for script in scripts:
-            seq_run = run_sequence(
+            seq_run = run_script(
                 aig, script, engine="seq",
                 max_cut_size=cut_size_for(name),
                 meter=_meter(config),
             )
-            gpu_run = run_sequence(
+            gpu_run = run_script(
                 aig, script, engine="gpu",
                 max_cut_size=cut_size_for(name),
                 machine=_machine(config),
@@ -358,11 +362,11 @@ def run_fig7(
         points = []
         for scale in scales:
             aig = enlarge(base, scale)
-            seq_run = run_sequence(
+            seq_run = run_script(
                 aig, script, engine="seq", max_cut_size=CUT_SIZE,
                 meter=_meter(config),
             )
-            gpu_run = run_sequence(
+            gpu_run = run_script(
                 aig, script, engine="gpu", max_cut_size=CUT_SIZE,
                 machine=_machine(config),
             )
@@ -422,7 +426,7 @@ def run_fig8(
     for name, aig in suite.items():
         for script in scripts:
             machine = _machine(config)
-            run_sequence(
+            run_script(
                 aig, script, engine="gpu", max_cut_size=CUT_SIZE,
                 machine=machine,
             )

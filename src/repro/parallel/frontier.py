@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable
 
+from repro import observe
 from repro.parallel import backend
 
 #: Below this batch size the scalar loops win on constant factors.
@@ -41,6 +42,9 @@ def gather_unique(
         ordered = uniq[np.argsort(first, kind="stable")].tolist()
         if keep is not None:
             ordered = [item for item in ordered if keep(item)]
+        if observe.enabled:
+            observe.count("frontier.gathered", len(items))
+            observe.count("frontier.unique", len(ordered))
         return ordered, len(items)
     seen: set[int] = set()
     out: list[int] = []
@@ -50,6 +54,9 @@ def gather_unique(
         seen.add(item)
         if keep is None or keep(item):
             out.append(item)
+    if observe.enabled:
+        observe.count("frontier.gathered", len(items))
+        observe.count("frontier.unique", len(out))
     return out, len(items)
 
 

@@ -28,10 +28,10 @@ from dataclasses import dataclass, field
 
 from repro.aig.aig import Aig
 from repro.aig.io_aiger import dump_aag, parse_aag
-from repro.algorithms.sequences import run_sequence
 from repro.benchgen.control import random_control
 from repro.benchgen.random_aig import mtm_random
 from repro.cec import CecStatus, check_equivalence
+from repro.engine import run_script
 from repro.parallel import backend
 from repro.verify import sanitizer
 from repro.verify.invariants import AigInvariantError
@@ -107,7 +107,7 @@ def run_case(
         if san is not None:
             sanitizer.set_sanitizer(san)
         try:
-            result = run_sequence(
+            result = run_script(
                 aig.clone(),
                 script,
                 engine="gpu",

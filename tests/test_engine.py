@@ -1,0 +1,355 @@
+"""Tests for the unified pass engine (:mod:`repro.engine`).
+
+Three groups:
+
+* **Golden parity** — replays every run pinned in
+  ``tests/goldens/engine_parity.json`` through the registry-backed
+  scheduler and asserts bit-identical AIGER dumps, modeled times (full
+  float precision) and headline counters.  The goldens were captured
+  from the pre-engine ``run_sequence``, so these tests prove the
+  refactor changed no observable behavior.
+* **GraphContext** — unit tests of the version-keyed derived-state
+  cache: hit/miss/extend accounting, append-only extension equals a
+  from-scratch recompute, invalidation on every mutating operation,
+  fork isolation, and the grow-in-place ``arrays()`` path.
+* **Registry/plugin** — script parsing errors, pass lookup, and an
+  end-to-end plugin test registering a custom pass + command and
+  driving it through ``repro-aig opt``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro import observe
+from repro.aig import traversal
+from repro.aig.io_aiger import dump_aag, write_aag
+from repro.algorithms.common import PassResult
+from repro.benchgen.control import random_control
+from repro.benchgen.random_aig import mtm_random
+from repro.cli import main as cli_main
+from repro.engine import (
+    GraphContext,
+    clone_with_context,
+    context_for,
+    parse_script,
+    pass_fn,
+    register_command,
+    register_pass,
+    run_script,
+    unregister_command,
+    unregister_pass,
+)
+from repro.parallel import backend
+from tests.conftest import build_random_aig
+
+GOLDENS = Path(__file__).parent / "goldens" / "engine_parity.json"
+
+requires_numpy = pytest.mark.skipif(
+    not backend.HAS_NUMPY, reason="numpy backend unavailable"
+)
+
+
+# ----------------------------------------------------------------------
+# Golden parity: the engine reproduces pre-refactor behavior bit for bit
+# ----------------------------------------------------------------------
+
+
+def _golden_case(name: str):
+    """Rebuild one golden case AIG (same recipe as the capture script)."""
+    if name == "mtm":
+        return mtm_random(
+            num_pis=10, num_nodes=180, num_pos=4, locality=48,
+            rng=random.Random(11), name="mtm",
+        )
+    if name == "control":
+        return random_control(
+            num_pis=10, num_layers=3, layer_width=28,
+            rng=random.Random(22), name="control",
+        )
+    assert name == "deep"
+    return mtm_random(
+        num_pis=8, num_nodes=120, num_pos=3, locality=6,
+        rng=random.Random(33), name="deep",
+    )
+
+
+_CASE_CACHE: dict[str, object] = {}
+
+
+def _case_aig(name: str):
+    if name not in _CASE_CACHE:
+        _CASE_CACHE[name] = _golden_case(name)
+    return _CASE_CACHE[name]
+
+
+with open(GOLDENS, encoding="ascii") as _handle:
+    _GOLDEN_RUNS = json.load(_handle)["runs"]
+
+
+def _run_id(run: dict) -> str:
+    return "-".join(
+        (run["case"], run["script"], run["engine"], run["backend"])
+    )
+
+
+@pytest.mark.parametrize("run", _GOLDEN_RUNS, ids=_run_id)
+def test_golden_parity(run):
+    if run["backend"] == "numpy" and not backend.HAS_NUMPY:
+        pytest.skip("numpy backend unavailable")
+    aig = _case_aig(run["case"])
+    backend.set_backend(run["backend"])
+    observe.enable()
+    try:
+        result = run_script(
+            aig.clone(), run["script"], engine=run["engine"]
+        )
+    finally:
+        _, registry = observe.disable()
+        backend.set_backend(None)
+    assert dump_aag(result.aig) == run["dump"]
+    assert repr(result.modeled_time()) == run["modeled_time"]
+    counters = registry.snapshot()["counters"]
+    for key, value in run["counters"].items():
+        assert counters.get(key, 0) == value, key
+
+
+def test_goldens_cover_both_engines_and_backends():
+    seen = {(run["engine"], run["backend"]) for run in _GOLDEN_RUNS}
+    assert ("seq", "python") in seen and ("gpu", "python") in seen
+    if backend.HAS_NUMPY:
+        assert ("seq", "numpy") in seen and ("gpu", "numpy") in seen
+
+
+# ----------------------------------------------------------------------
+# GraphContext: version-keyed memoization
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def small_aig():
+    return build_random_aig(7, num_ands=60)
+
+
+def _add_fresh_and(aig) -> int:
+    """Append an AND guaranteed to miss the strash table."""
+    before = aig.num_vars
+    for a in aig.pis:
+        for b in aig.pis:
+            lit = aig.add_and(a << 1, (b << 1) ^ 1)
+            if aig.num_vars > before:
+                return lit
+    raise AssertionError("no fresh AND pair found")
+
+
+def test_context_hit_miss_accounting(small_aig):
+    context = context_for(small_aig)
+    assert context is context_for(small_aig)  # attached, not rebuilt
+    levels = context.levels()
+    assert context.counters == {"hits": 0, "misses": 1, "extends": 0}
+    assert context.levels() is levels
+    assert context.counters == {"hits": 1, "misses": 1, "extends": 0}
+    assert levels == traversal.aig_levels(small_aig)
+
+
+def test_context_append_extends_all_caches():
+    from repro.aig.aig import Aig
+
+    aig = Aig("ctx")
+    x = [aig.add_pi() for _ in range(4)]
+    n1 = aig.add_and(x[0], x[1])
+    n2 = aig.add_and(x[2], x[3])
+    aig.add_po(aig.add_and(n1, n2))
+    context = context_for(aig)
+    context.levels()
+    context.fanout_counts()
+    context.fanout_lists()
+    context.topological_order()
+    before = aig.num_vars
+    aig.add_and(n1, x[2] ^ 1)  # guaranteed fresh: pair not strashed yet
+    assert aig.num_vars == before + 1
+    levels = context.levels()
+    counts = context.fanout_counts()
+    fanouts = context.fanout_lists()
+    order = context.topological_order()
+    assert context.counters["extends"] == 4
+    assert levels == traversal.aig_levels(aig)
+    assert counts == traversal.fanout_counts(aig)
+    assert fanouts == traversal.fanout_lists(aig)
+    assert order == traversal.topological_order(aig)
+
+
+def test_context_invalidation_on_structural_mutations(small_aig):
+    context = context_for(small_aig)
+    context.levels()
+    victim = list(small_aig.and_vars())[-1]
+    small_aig.mark_dead(victim)
+    context.levels()
+    assert context.counters["misses"] == 2  # not a hit, not an extend
+    assert context.levels() == traversal.aig_levels(small_aig)
+    small_aig.revive(victim)
+    context.levels()
+    assert context.counters["misses"] == 3
+    num_vars = small_aig.num_vars
+    small_aig.truncate(num_vars)  # no-op truncate still bumps versions
+    context.levels()
+    assert context.counters["misses"] == 4
+
+
+def test_context_po_version_dependence(small_aig):
+    context = context_for(small_aig)
+    context.depth()
+    counts = list(context.fanout_counts())
+    mask = list(context.po_fanout_mask())
+    target = next(
+        var for var in small_aig.and_vars() if not mask[var]
+    )
+    small_aig.add_po(target << 1)
+    # PO-dependent state recomputes; PO-independent levels still hit.
+    assert context.depth() == traversal.aig_depth(small_aig)
+    assert context.fanout_counts() == traversal.fanout_counts(small_aig)
+    assert context.po_fanout_mask() == traversal.po_fanout_mask(small_aig)
+    assert context.fanout_counts() != counts  # the new PO reference
+    assert context.po_fanout_mask() != mask
+
+
+def test_context_fork_isolation(small_aig):
+    context = context_for(small_aig)
+    context.levels()
+    context.fanout_lists()
+    clone = clone_with_context(small_aig)
+    forked = clone._graph_context
+    assert isinstance(forked, GraphContext)
+    assert forked.counters == {"hits": 0, "misses": 0, "extends": 0}
+    assert forked.levels() == context.levels()
+    assert forked.counters["hits"] == 1  # carried entry is a hit
+    # Mutating the clone extends its fork without touching the source.
+    _add_fresh_and(clone)
+    assert clone.num_vars == small_aig.num_vars + 1
+    assert len(forked.levels()) == clone.num_vars
+    assert len(context.levels()) == small_aig.num_vars
+    assert context.counters["extends"] == 0
+
+
+@requires_numpy
+def test_context_arrays_grow_in_place(small_aig):
+    import numpy as np
+
+    fan0, fan1, dead = small_aig.arrays()
+    _add_fresh_and(small_aig)
+    grown0, grown1, grown_dead = context_for(small_aig).arrays()
+    assert len(grown0) == small_aig.num_vars
+    assert np.array_equal(
+        grown0, np.asarray(small_aig._fanin0, dtype=np.int64)
+    )
+    assert np.array_equal(
+        grown1, np.asarray(small_aig._fanin1, dtype=np.int64)
+    )
+    assert np.array_equal(
+        grown_dead, np.asarray(small_aig._dead, dtype=bool)
+    )
+    assert len(fan0) == len(fan1)  # original views untouched in length
+
+
+def test_resolved_helpers_match_pass_usage(small_aig):
+    from repro.algorithms.common import AliasView
+    from repro.engine import resolved_fanout_counts, resolved_levels
+
+    view = AliasView(small_aig)
+    levels, order = resolved_levels(
+        small_aig, view.alias, view.resolve
+    )
+    raw = traversal.aig_levels(small_aig)
+    for var in order:
+        assert levels[var] == raw[var]
+    counts = resolved_fanout_counts(view)
+    assert counts == traversal.fanout_counts(small_aig)
+
+
+# ----------------------------------------------------------------------
+# Registry: lookup, parsing, CLI plugin path
+# ----------------------------------------------------------------------
+
+
+def test_pass_fn_known_and_unknown():
+    assert callable(pass_fn("par_balance"))
+    with pytest.raises(KeyError, match="unknown pass 'bogus'"):
+        pass_fn("bogus")
+
+
+def test_parse_script_rejects_unknown_command():
+    with pytest.raises(ValueError, match="unknown command 'frobnicate'"):
+        parse_script("b; frobnicate; rw")
+
+
+def test_parse_script_resolves_named_sequences():
+    assert parse_script("resyn2") == [
+        "b", "rw", "rf", "b", "rw", "rwz", "b", "rfz", "rwz", "b"
+    ]
+
+
+def test_cli_list_passes(capsys):
+    assert cli_main(["opt", "--list-passes"]) == 0
+    out = capsys.readouterr().out
+    assert "par_balance" in out
+    assert "seq_rewrite" in out
+    assert "rwz" in out
+
+
+def test_cli_opt_requires_input(capsys):
+    assert cli_main(["opt"]) == 2
+    assert "input file required" in capsys.readouterr().err
+
+
+def test_cli_opt_reports_unknown_command(tmp_path, capsys):
+    path = tmp_path / "in.aag"
+    write_aag(build_random_aig(5, num_ands=40), path)
+    assert cli_main(["opt", str(path), "-c", "b; nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown command 'nope'" in err
+    assert "'rwz'" in err  # the valid set is listed
+
+
+def test_plugin_pass_end_to_end(tmp_path, capsys):
+    """A pass registered by a plugin is runnable via ``repro-aig opt``."""
+
+    @register_pass("plugin_noop", engine="gpu", description="no-op")
+    def plugin_noop(aig, machine=None):
+        depth = context_for(aig).depth()
+        nodes = aig.num_ands
+        return PassResult(
+            aig=clone_with_context(aig),
+            nodes_before=nodes,
+            nodes_after=nodes,
+            levels_before=depth,
+            levels_after=depth,
+        )
+
+    @register_command("noop", "gpu", description="plugin no-op")
+    def _bind_noop(invocation):
+        return [pass_fn("plugin_noop")(
+            invocation.aig, machine=invocation.machine
+        )]
+
+    try:
+        assert "noop" in parse_script("b; noop")
+        aig = build_random_aig(9, num_ands=50)
+        path = tmp_path / "plugin.aag"
+        write_aag(aig, path)
+        code = cli_main(
+            ["opt", str(path), "-c", "noop", "--engine", "gpu"]
+        )
+        assert code == 0
+        assert "noop" in capsys.readouterr().out
+        result = run_script(aig.clone(), "noop", engine="gpu")
+        assert dump_aag(result.aig) == dump_aag(aig)
+        assert [command for command, _ in result.steps] == ["noop"]
+    finally:
+        unregister_command("noop", "gpu")
+        unregister_pass("plugin_noop")
+    with pytest.raises(ValueError, match="unknown command 'noop'"):
+        parse_script("noop")
