@@ -6,6 +6,15 @@ problem size and drops below 1× for small AIGs (GPU launch overheads);
 the sweep asserts both effects: monotone growth over the swept range
 and a sub-1× point at the smallest scale probed with a tiny seed
 circuit.
+
+Run directly, the file is the **scale lane**: it builds one enlarged
+benchmark at a ≥1M-node scale, runs a script on the array core, and
+records wall time + peak RSS in a bench JSON (see
+``repro.experiments.scale``)::
+
+    python benchmarks/bench_fig7_scaling.py \\
+        --base vga_lcd --scale 11 --script b \\
+        --max-rss-mb 4096 --output scale.json --trace scale_trace.json
 """
 
 from repro.algorithms.sequences import run_sequence
@@ -43,3 +52,15 @@ def test_fig7_small_aigs_below_crossover(benchmark):
     accel = benchmark.pedantic(measure, rounds=1, iterations=1)
     print(f"\ntiny-adder rf_resyn acceleration: {accel:.3f}x")
     assert accel < 1.0
+
+
+def main(argv=None) -> int:
+    from repro.experiments.scale import scale_main
+
+    return scale_main(argv, bench="fig7_scaling", default_script="b")
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -5,6 +5,14 @@ dedup) for GPU rf_resyn and resyn2.  The paper observes that ``b``
 takes a large share (especially in rf_resyn) and that ``b`` and
 ``dedup`` grow significant on large-delay benchmarks, due to their
 level-wise parallel nature — both effects are asserted.
+
+Run directly, the file is the scale-lane variant of the breakdown: it
+runs one full GPU script on a ≥1M-node enlarged benchmark and records
+the per-tag modeled shares alongside wall time + peak RSS (see
+``repro.experiments.scale``)::
+
+    python benchmarks/bench_fig8_breakdown.py \\
+        --base twentythree --scale 9 --script rf_resyn --output fig8.json
 """
 
 from repro.experiments.tables import run_fig8
@@ -44,3 +52,17 @@ def test_fig8_deep_aigs_pay_more_for_levelwise_passes(benchmark):
     deep_levelwise = deep.get("b", 0) + deep.get("dedup", 0)
     shallow_levelwise = shallow.get("b", 0) + shallow.get("dedup", 0)
     assert deep_levelwise > shallow_levelwise
+
+
+def main(argv=None) -> int:
+    from repro.experiments.scale import scale_main
+
+    return scale_main(
+        argv, bench="fig8_breakdown", default_script="rf_resyn"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

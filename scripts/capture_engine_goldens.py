@@ -12,12 +12,19 @@ goldens pin the exact pre-refactor behavior of ``run_sequence``.  The
 file is regenerated only when behavior is *intended* to change::
 
     PYTHONPATH=src python scripts/capture_engine_goldens.py
+
+``--check`` captures to memory and compares against the committed
+goldens instead of rewriting them — exit 1 with a per-run field diff on
+any mismatch.  CI runs this as an explicit parity gate so a drifted
+golden file can never hide behind a same-session recapture.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import random
+import sys
 from pathlib import Path
 
 from repro import observe
@@ -106,8 +113,57 @@ def capture() -> dict:
     return {"format": "repro.engine-goldens/1", "runs": runs}
 
 
-def main() -> int:
+def _run_key(run: dict) -> tuple[str, str, str, str]:
+    return (run["case"], run["script"], run["engine"], run["backend"])
+
+
+def check(document: dict) -> int:
+    """Compare a fresh capture against the committed goldens."""
+    try:
+        with open(OUTPUT, encoding="ascii") as handle:
+            committed = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"goldens unreadable: {error}", file=sys.stderr)
+        return 1
+    captured = {_run_key(run): run for run in document["runs"]}
+    pinned = {_run_key(run): run for run in committed.get("runs", [])}
+    # Runs for backends unavailable in this environment (no NumPy) are
+    # skipped rather than reported missing.
+    pinned = {
+        key: run for key, run in pinned.items() if key in captured
+    }
+    failures = []
+    for key, run in sorted(pinned.items()):
+        fresh = captured[key]
+        for field in ("dump", "modeled_time", "counters"):
+            if fresh[field] != run[field]:
+                failures.append(f"{'-'.join(key)}: {field} drifted")
+    for key in sorted(set(captured) - set(pinned)):
+        failures.append(f"{'-'.join(key)}: not pinned in goldens")
+    if failures:
+        print("engine goldens parity FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print(
+            "regenerate deliberately with "
+            "`python scripts/capture_engine_goldens.py`",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"engine goldens parity OK ({len(pinned)} runs)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed goldens instead of writing",
+    )
+    args = parser.parse_args(argv)
     document = capture()
+    if args.check:
+        return check(document)
     OUTPUT.parent.mkdir(parents=True, exist_ok=True)
     with open(OUTPUT, "w", encoding="ascii") as handle:
         json.dump(document, handle, indent=1, sort_keys=True)

@@ -1,11 +1,23 @@
-"""The And-Inverter Graph data structure.
+"""The And-Inverter Graph data structure (flat array core).
 
 The AIG is stored struct-of-arrays style, mirroring the flat GPU layout
-the paper uses: two parallel fanin arrays indexed by variable id, a PI
-id list and a PO literal list.  Variable 0 is the constant-false node;
-ids are assigned in creation order, and because an AND node can only
-reference already-existing variables, **id order is always a valid
+the paper uses: two parallel fanin columns indexed by variable id, a
+dead-flag column, PI/PO columns, and the level/refcount columns the
+engine's derived-state cache fills in.  Variable 0 is the constant-false
+node; ids are assigned in creation order, and because an AND node can
+only reference already-existing variables, **id order is always a valid
 topological order** — every traversal in the library relies on this.
+
+With NumPy installed the columns (:class:`repro.aig.store.Column`) are
+preallocated ``int64``/``bool`` buffers that grow in place
+geometrically.  Scalar access — the facade methods below and the
+``_fanin0`` / ``_fanin1`` / ``_dead`` / ``_pis`` / ``_pos`` properties —
+goes through ``memoryview`` twins that index at list speed and return
+plain Python ints, while :meth:`Aig.arrays` hands out zero-copy NumPy
+views of the very same buffers.  Without NumPy the columns degrade to
+plain Python lists with identical semantics (the stdlib-only base
+install).  Structural hashing uses the flat open-addressing
+:class:`repro.aig.store.FlatStrash` in both modes.
 
 Nodes are append-only.  Optimization passes that delete logic mark
 variables *dead* and finish with :meth:`Aig.compact`, which rebuilds the
@@ -25,6 +37,7 @@ from repro.aig.literals import (
     lit_var,
     make_lit,
 )
+from repro.aig.store import Column, FlatStrash
 
 #: Sentinel fanin value marking a primary-input row.
 PI_FANIN = -1
@@ -40,47 +53,108 @@ class Aig:
     ----------
     name:
         Optional design name, carried through I/O and optimization.
+    capacity:
+        Optional initial node-column capacity (rows, including the
+        constant row).  Growth is automatic either way; pre-sizing via
+        this parameter or :meth:`reserve` avoids repeated reallocation
+        when the final size is known (I/O, ``compact``, ``enlarge``).
     """
 
-    def __init__(self, name: str = "aig") -> None:
+    def __init__(self, name: str = "aig", capacity: int = 0) -> None:
         self.name = name
-        # Variable 0 is the constant-false node.
-        self._fanin0: list[int] = [CONST_FANIN]
-        self._fanin1: list[int] = [CONST_FANIN]
-        self._dead: list[bool] = [False]
-        self._pis: list[int] = []
-        self._pos: list[int] = []
-        self._po_names: list[str | None] = []
+        # Node columns (shared row index = variable id).  Row 0 is the
+        # constant-false node.
+        self._f0c = Column("int", capacity)
+        self._f1c = Column("int", capacity)
+        self._deadc = Column("bool", capacity)
+        self._f0c.append(CONST_FANIN)
+        self._f1c.append(CONST_FANIN)
+        self._deadc.append(False)
+        # PI variable ids and PO literals.
+        self._pic = Column("int")
+        self._poc = Column("int")
+        # Derived-state columns; content is owned by the attached
+        # GraphContext (levels / PO-inclusive fanout refcounts).
+        self._levelc = Column("int")
+        self._nrefc = Column("int")
         self._pi_names: list[str | None] = []
-        self._strash: dict[tuple[int, int], int] = {}
+        self._po_names: list[str | None] = []
+        self._strash = FlatStrash()
         # Mutation counters.  ``_version`` tracks *every* structural
         # mutation (appends, kills, revives, truncations); it keys the
-        # :meth:`arrays` cache and the derived-state caches of
+        # derived-state caches of
         # :class:`repro.engine.context.GraphContext`.  ``_shape_version``
         # tracks only the destructive subset (kill/revive/truncate), so
         # a cache whose version is stale but whose shape version is not
         # knows the graph only *grew* and may extend in place instead of
         # recomputing.  ``_po_version`` tracks the PO list, which
         # :meth:`add_po`/:meth:`set_po` change without touching nodes.
+        # ``_ref_version`` tracks rewrites of the refcount column only:
+        # refcount refreshes patch ``_nrefc`` in place and never
+        # invalidate the structural views (the shape/ref key split).
         self._version = 0
         self._shape_version = 0
         self._po_version = 0
-        self._arrays_cache: tuple | None = None
+        self._ref_version = 0
+        # Live AND count, maintained incrementally (num_ands is O(1)).
+        self._live_ands = 0
         # Lazily attached repro.engine.context.GraphContext.
         self._graph_context = None
+
+    # ------------------------------------------------------------------
+    # Scalar twins (compatibility views over the canonical columns)
+    # ------------------------------------------------------------------
+
+    @property
+    def _fanin0(self):
+        """Scalar view of the fanin0 column (list-like, live)."""
+        return self._f0c.slice()
+
+    @property
+    def _fanin1(self):
+        """Scalar view of the fanin1 column (list-like, live)."""
+        return self._f1c.slice()
+
+    @property
+    def _dead(self):
+        """Scalar view of the dead-flag column (list-like, live)."""
+        return self._deadc.slice()
+
+    @property
+    def _pis(self):
+        """Scalar view of the PI variable-id column (list-like, live)."""
+        return self._pic.slice()
+
+    @property
+    def _pos(self):
+        """Scalar view of the PO literal column (list-like, live)."""
+        return self._poc.slice()
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
 
+    def reserve(self, num_vars: int, num_ands: int | None = None) -> None:
+        """Preallocate storage for ``num_vars`` total variable rows.
+
+        Optionally pre-sizes the structural-hash table for
+        ``num_ands`` live AND keys.  No-op when already large enough
+        (and entirely in list mode, where lists manage themselves).
+        """
+        self._f0c.reserve(num_vars)
+        self._f1c.reserve(num_vars)
+        self._deadc.reserve(num_vars)
+        if num_ands:
+            self._strash.reserve(num_ands)
+
     def add_pi(self, name: str | None = None) -> int:
         """Create a primary input; returns its (non-complemented) literal."""
-        var = len(self._fanin0)
+        var = self._f0c.size
         self._version += 1
-        self._fanin0.append(PI_FANIN)
-        self._fanin1.append(PI_FANIN)
-        self._dead.append(False)
-        self._pis.append(var)
+        self._f0c.append(PI_FANIN)
+        self._f1c.append(PI_FANIN)
+        self._deadc.append(False)
+        self._pic.append(var)
         self._pi_names.append(name)
         return make_lit(var)
 
@@ -88,15 +162,21 @@ class Aig:
         """Register ``lit`` as a primary output; returns the PO index."""
         self._check_lit(lit)
         self._po_version += 1
-        self._pos.append(lit)
+        self._poc.append(lit)
         self._po_names.append(name)
-        return len(self._pos) - 1
+        return self._poc.size - 1
 
     def set_po(self, index: int, lit: int) -> None:
         """Redirect an existing primary output to a new literal."""
         self._check_lit(lit)
         self._po_version += 1
         self._pos[index] = lit
+
+    def clear_pos(self) -> None:
+        """Drop every primary output (cone-extraction scratch use)."""
+        self._po_version += 1
+        self._poc.clear()
+        self._po_names = []
 
     def add_and(self, lit0: int, lit1: int) -> int:
         """Create (or reuse) the AND of two literals; returns its literal.
@@ -116,16 +196,26 @@ class Aig:
             return f0
         if f0 == (f1 ^ 1):
             return CONST0
-        key = (f0, f1)
-        existing = self._strash.get(key)
-        if existing is not None and not self._dead[existing]:
-            return make_lit(existing)
-        var = len(self._fanin0)
+        # One combined probe instead of a get + setitem pair: ``slot``
+        # is a live key match (possibly a dead node to rebind), ``free``
+        # the insertion slot otherwise.  Nothing touches the table
+        # between the probe and the write, so the slots stay valid.
+        strash = self._strash
+        slot, free = strash._find(f0, f1)
+        if slot >= 0:
+            existing = strash._value[slot]
+            if not self._deadc.view[existing]:
+                return make_lit(existing)
+        var = self._f0c.size
         self._version += 1
-        self._fanin0.append(f0)
-        self._fanin1.append(f1)
-        self._dead.append(False)
-        self._strash[key] = var
+        self._f0c.append(f0)
+        self._f1c.append(f1)
+        self._deadc.append(False)
+        if slot >= 0:
+            strash._value[slot] = var
+        else:
+            strash._insert(free, f0, f1, var)
+        self._live_ands += 1
         return make_lit(var)
 
     def add_raw_and(self, lit0: int, lit1: int) -> int:
@@ -138,18 +228,19 @@ class Aig:
         self._check_lit(lit0)
         self._check_lit(lit1)
         f0, f1 = lit_pair_key(lit0, lit1)
-        var = len(self._fanin0)
+        var = self._f0c.size
         self._version += 1
-        self._fanin0.append(f0)
-        self._fanin1.append(f1)
-        self._dead.append(False)
+        self._f0c.append(f0)
+        self._f1c.append(f1)
+        self._deadc.append(False)
+        self._live_ands += 1
         return make_lit(var)
 
     def find_and(self, lit0: int, lit1: int) -> int | None:
         """Literal of an existing AND with these fanins, or None."""
         key = lit_pair_key(lit0, lit1)
         var = self._strash.get(key)
-        if var is None or self._dead[var]:
+        if var is None or self._deadc.view[var]:
             return None
         return make_lit(var)
 
@@ -160,36 +251,32 @@ class Aig:
     @property
     def num_vars(self) -> int:
         """Total number of variable ids ever created (including dead)."""
-        return len(self._fanin0)
+        return self._f0c.size
 
     @property
     def num_pis(self) -> int:
         """Number of primary inputs."""
-        return len(self._pis)
+        return self._pic.size
 
     @property
     def num_pos(self) -> int:
         """Number of primary outputs."""
-        return len(self._pos)
+        return self._poc.size
 
     @property
     def num_ands(self) -> int:
         """Number of *live* AND nodes (the paper's "#Nodes" metric)."""
-        return sum(
-            1
-            for var in range(self.num_vars)
-            if self._fanin0[var] >= 0 and not self._dead[var]
-        )
+        return self._live_ands
 
     @property
     def pis(self) -> list[int]:
         """Variable ids of the primary inputs, in creation order."""
-        return list(self._pis)
+        return list(self._pic.slice())
 
     @property
     def pos(self) -> list[int]:
         """Primary output literals, in creation order."""
-        return list(self._pos)
+        return list(self._poc.slice())
 
     def pi_name(self, index: int) -> str | None:
         """Symbol-table name of PI ``index`` (None when unnamed)."""
@@ -205,26 +292,31 @@ class Aig:
 
     def is_pi(self, var: int) -> bool:
         """True when ``var`` is a primary input."""
-        return self._fanin0[var] == PI_FANIN
+        self._check_var(var)
+        return self._f0c.view[var] == PI_FANIN
 
     def is_and(self, var: int) -> bool:
         """True when ``var`` is an AND node (live or dead)."""
-        return self._fanin0[var] >= 0
+        self._check_var(var)
+        return self._f0c.view[var] >= 0
 
     def is_dead(self, var: int) -> bool:
         """True when ``var`` was deleted by :meth:`mark_dead`."""
-        return self._dead[var]
+        self._check_var(var)
+        return bool(self._deadc.view[var])
 
     def fanin0(self, var: int) -> int:
         """First (smaller) fanin literal of an AND variable."""
-        lit = self._fanin0[var]
+        self._check_var(var)
+        lit = self._f0c.view[var]
         if lit < 0:
             raise ValueError(f"variable {var} is not an AND node")
         return lit
 
     def fanin1(self, var: int) -> int:
         """Second (larger) fanin literal of an AND variable."""
-        lit = self._fanin1[var]
+        self._check_var(var)
+        lit = self._f1c.view[var]
         if lit < 0:
             raise ValueError(f"variable {var} is not an AND node")
         return lit
@@ -234,68 +326,61 @@ class Aig:
         return self.fanin0(var), self.fanin1(var)
 
     def and_vars(self) -> Iterator[int]:
-        """Live AND variable ids in topological (= id) order."""
-        for var in range(self.num_vars):
-            if self._fanin0[var] >= 0 and not self._dead[var]:
+        """Live AND variable ids in topological (= id) order.
+
+        Lazy on purpose: passes iterate this while killing and
+        appending nodes, and each step re-reads the live columns (the
+        column attributes are re-fetched so buffer growth between
+        yields is observed).
+        """
+        for var in range(self._f0c.size):
+            if self._f0c.view[var] >= 0 and not self._deadc.view[var]:
                 yield var
 
     def all_and_vars(self) -> Iterator[int]:
         """All AND variable ids, live or dead, in id order."""
-        for var in range(self.num_vars):
-            if self._fanin0[var] >= 0:
+        for var in range(self._f0c.size):
+            if self._f0c.view[var] >= 0:
                 yield var
 
-    def arrays(self) -> tuple:
-        """NumPy compatibility view ``(fanin0, fanin1, dead)`` of the graph.
+    def live_and_array(self):
+        """Live AND variable ids as an int64 ndarray (static snapshot).
 
-        The Python lists stay canonical; this returns int64/bool array
-        views rebuilt lazily whenever the graph has mutated since the
-        last call.  Append-only growth (the common case inside a pass:
-        nodes are only ever added between kills) takes an amortized
-        fast path — the cached buffers grow geometrically and only the
-        new rows are copied — while destructive mutations (kill,
-        revive, truncate, tracked by ``_shape_version``) rebuild from
-        scratch.  The arrays must be treated as read-only — writes are
-        never propagated back.  Requires NumPy (callers are gated on
-        the ``numpy`` backend).
+        Vectorized equivalent of ``list(and_vars())`` for consumers on
+        the numpy backend; unlike :meth:`and_vars` it snapshots, so it
+        must not be used across mutations.
         """
         import numpy as np
 
-        num = len(self._fanin0)
-        cache = self._arrays_cache
-        if cache is not None:
-            version, shape_version, size, f0, f1, dead = cache
-            if version == self._version:
-                return f0[:size], f1[:size], dead[:size]
-            if shape_version == self._shape_version and num > size:
-                # Append-only since the cached snapshot: rows below
-                # ``size`` are unchanged, so copy only the new tail.
-                if num > len(f0):
-                    capacity = max(num, 2 * len(f0))
-                    f0 = self._grow(np, f0, size, capacity)
-                    f1 = self._grow(np, f1, size, capacity)
-                    dead = self._grow(np, dead, size, capacity)
-                f0[size:num] = self._fanin0[size:]
-                f1[size:num] = self._fanin1[size:]
-                dead[size:num] = self._dead[size:]
-                self._arrays_cache = (
-                    self._version, self._shape_version, num, f0, f1, dead
-                )
-                return f0[:num], f1[:num], dead[:num]
-        f0 = np.array(self._fanin0, dtype=np.int64)
-        f1 = np.array(self._fanin1, dtype=np.int64)
-        dead = np.array(self._dead, dtype=bool)
-        self._arrays_cache = (
-            self._version, self._shape_version, num, f0, f1, dead
-        )
-        return f0, f1, dead
+        f0, _, dead = self.arrays()
+        return np.flatnonzero((f0 >= 0) & ~dead)
 
-    @staticmethod
-    def _grow(np, buffer, size: int, capacity: int):
-        """A larger buffer holding the first ``size`` rows of ``buffer``."""
-        grown = np.empty(capacity, dtype=buffer.dtype)
-        grown[:size] = buffer[:size]
-        return grown
+    def arrays(self) -> tuple:
+        """Zero-copy NumPy views ``(fanin0, fanin1, dead)`` of the graph.
+
+        The views alias the canonical column buffers directly — there
+        is no rebuild and no cache.  In-place mutations (dead-flag
+        patches from :meth:`mark_dead`/:meth:`revive`) are immediately
+        visible through an already-held view; appended rows are not
+        (the view's length is fixed at the call — take a fresh view),
+        and a view taken before a capacity growth keeps aliasing the
+        superseded buffer.  Callers must treat the views as read-only.
+        Requires NumPy (callers are gated on the ``numpy`` backend);
+        the list fallback materializes fresh arrays on each call.
+        """
+        if self._f0c.numpy:
+            return (
+                self._f0c.nparray(),
+                self._f1c.nparray(),
+                self._deadc.nparray(),
+            )
+        import numpy as np
+
+        return (
+            np.array(self._f0c.data, dtype=np.int64),
+            np.array(self._f1c.data, dtype=np.int64),
+            np.array(self._deadc.data, dtype=bool),
+        )
 
     # ------------------------------------------------------------------
     # Deletion and compaction
@@ -306,16 +391,18 @@ class Aig:
 
         Dead nodes are skipped by :meth:`and_vars` and dropped by
         :meth:`compact`; their strash entry is released so an equivalent
-        node may be re-created.
+        node may be re-created.  The dead column is patched in place —
+        existing :meth:`arrays` views observe the kill instantly.
         """
         if not self.is_and(var):
             raise ValueError(f"only AND nodes can be deleted, not var {var}")
-        if self._dead[var]:
+        if self._deadc.view[var]:
             return
         self._version += 1
         self._shape_version += 1
-        self._dead[var] = True
-        key = lit_pair_key(self._fanin0[var], self._fanin1[var])
+        self._deadc.view[var] = True
+        self._live_ands -= 1
+        key = lit_pair_key(self._f0c.view[var], self._f1c.view[var])
         if self._strash.get(key) == var:
             del self._strash[key]
 
@@ -328,27 +415,35 @@ class Aig:
         """
         if num_vars < 1 + self.num_pis:
             raise ValueError("cannot truncate the constant or PI rows")
-        for var in range(num_vars, len(self._fanin0)):
-            if self._fanin0[var] >= 0:
-                key = (self._fanin0[var], self._fanin1[var])
+        fan0 = self._f0c.view
+        fan1 = self._f1c.view
+        dead = self._deadc.view
+        removed = 0
+        for var in range(num_vars, self._f0c.size):
+            if fan0[var] >= 0:
+                key = (fan0[var], fan1[var])
                 if self._strash.get(key) == var:
                     del self._strash[key]
-            if self._fanin0[var] == PI_FANIN:
+                if not dead[var]:
+                    removed += 1
+            if fan0[var] == PI_FANIN:
                 raise ValueError("cannot truncate primary inputs")
         self._version += 1
         self._shape_version += 1
-        del self._fanin0[num_vars:]
-        del self._fanin1[num_vars:]
-        del self._dead[num_vars:]
+        self._live_ands -= removed
+        self._f0c.truncate(num_vars)
+        self._f1c.truncate(num_vars)
+        self._deadc.truncate(num_vars)
 
     def revive(self, var: int) -> None:
         """Undo :meth:`mark_dead` (used by speculative replacement)."""
-        if not self._dead[var]:
+        if not self._deadc.view[var]:
             return
         self._version += 1
         self._shape_version += 1
-        self._dead[var] = False
-        key = lit_pair_key(self._fanin0[var], self._fanin1[var])
+        self._deadc.view[var] = False
+        self._live_ands += 1
+        key = lit_pair_key(self._f0c.view[var], self._f1c.view[var])
         self._strash.setdefault(key, var)
 
     def compact(
@@ -372,10 +467,12 @@ class Aig:
             literal.
         """
         resolve = resolve or {}
-        new = Aig(self.name)
+        new = Aig(self.name, capacity=self._f0c.size)
+        new._strash.reserve(self._live_ands)
         var_map: dict[int, int] = {0: CONST0}
-        for index, var in enumerate(self._pis):
-            var_map[var] = new.add_pi(self._pi_names[index])
+        pi_names = self._pi_names
+        for index, var in enumerate(self._pic.slice()):
+            var_map[var] = new.add_pi(pi_names[index])
 
         def resolve_lit(lit: int) -> int:
             """Follow redirection chains, composing complements."""
@@ -423,8 +520,9 @@ class Aig:
                 var_map[var] = new.add_and(n0, n1)
             return lit_not_cond(var_map[root], lit_compl(lit))
 
-        for index, po_lit in enumerate(self._pos):
-            new.add_po(build(po_lit), self._po_names[index])
+        po_names = self._po_names
+        for index, po_lit in enumerate(self._poc.slice()):
+            new.add_po(build(po_lit), po_names[index])
         return new, var_map
 
     # ------------------------------------------------------------------
@@ -433,21 +531,30 @@ class Aig:
 
     def clone(self) -> "Aig":
         """Deep copy of this AIG."""
-        new = Aig(self.name)
-        new._fanin0 = list(self._fanin0)
-        new._fanin1 = list(self._fanin1)
-        new._dead = list(self._dead)
-        new._pis = list(self._pis)
-        new._pos = list(self._pos)
+        new = Aig.__new__(Aig)
+        new.name = self.name
+        new._f0c = self._f0c.duplicate()
+        new._f1c = self._f1c.duplicate()
+        new._deadc = self._deadc.duplicate()
+        new._pic = self._pic.duplicate()
+        new._poc = self._poc.duplicate()
+        # Derived-state columns start empty; context forking
+        # (repro.engine.context.GraphContext.fork) refills them from
+        # the source cache when there is anything worth carrying.
+        new._levelc = Column("int", numpy_mode=self._levelc.numpy)
+        new._nrefc = Column("int", numpy_mode=self._nrefc.numpy)
         new._pi_names = list(self._pi_names)
         new._po_names = list(self._po_names)
-        new._strash = dict(self._strash)
+        new._strash = self._strash.copy()
         # Version counters carry over so derived-state caches forked
         # from this AIG (repro.engine.context.clone_with_context)
         # remain keyed consistently; the clone starts with no caches.
         new._version = self._version
         new._shape_version = self._shape_version
         new._po_version = self._po_version
+        new._ref_version = self._ref_version
+        new._live_ands = self._live_ands
+        new._graph_context = None
         return new
 
     def stats(self) -> dict[str, int]:
@@ -456,7 +563,7 @@ class Aig:
 
         levels = context_for(self).levels()
         depth = 0
-        for lit in self._pos:
+        for lit in self._poc.slice():
             depth = max(depth, levels[lit_var(lit)])
         return {
             "pis": self.num_pis,
@@ -466,8 +573,12 @@ class Aig:
         }
 
     def _check_lit(self, lit: int) -> None:
-        if lit < 0 or lit_var(lit) >= self.num_vars:
+        if lit < 0 or lit_var(lit) >= self._f0c.size:
             raise ValueError(f"literal {lit} references an unknown variable")
+
+    def _check_var(self, var: int) -> None:
+        if var >= self._f0c.size or var < -self._f0c.size:
+            raise IndexError(f"variable {var} out of range")
 
     def __repr__(self) -> str:
         return (
@@ -481,8 +592,7 @@ def aig_from_pos(
 ) -> Aig:
     """Extract the cone of the given PO literals into a fresh AIG."""
     scratch = source.clone()
-    scratch._pos = []
-    scratch._po_names = []
+    scratch.clear_pos()
     for lit in po_lits:
         scratch.add_po(lit)
     new, _ = scratch.compact()

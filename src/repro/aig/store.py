@@ -1,0 +1,313 @@
+"""Flat column storage for the array-backed AIG core.
+
+The paper's GPU resynthesis operates on struct-of-arrays graphs sized
+in the tens of millions of nodes; a Python object/dict representation
+melts long before that.  This module provides the two primitives the
+:class:`repro.aig.aig.Aig` core is built from:
+
+:class:`Column`
+    One grow-in-place column.  With NumPy installed the backing store
+    is a preallocated ``int64``/``bool`` buffer that grows
+    geometrically, paired with a ``memoryview`` *twin* that serves
+    scalar reads and writes at list speed and yields plain Python ints
+    (no ``np.int64`` boxing leaking into literals or JSON).  Vector
+    callers slice the buffer zero-copy via :meth:`Column.nparray`.
+    Without NumPy the column degrades to a plain Python list with the
+    same interface, preserving the stdlib-only base install.
+
+:class:`FlatStrash`
+    The structural-hashing table ``(fanin0, fanin1) -> var`` as three
+    parallel ``array('q')`` columns with open addressing, linear
+    probing and tombstones — a dict-compatible subset API at a
+    fraction of the per-entry footprint of
+    ``dict[tuple[int, int], int]`` (24 bytes per slot versus ~250 per
+    dict entry once the key tuple and boxed ints are counted).  It is
+    stdlib-only, so both column modes share one implementation.  Probe
+    order is an internal detail: lookups are value-deterministic, so
+    graph construction is bit-identical regardless of layout.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+# Detected locally (importing repro.parallel.backend here would close
+# an import cycle through repro.verify back into repro.aig).
+try:  # NumPy is an optional extra (``pip install repro[fast]``).
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised in numpy-less CI
+    _np = None
+    HAVE_NUMPY = False
+
+
+class Column:
+    """A grow-in-place typed column with a scalar twin.
+
+    ``view`` is the scalar access path: a ``memoryview`` over the full
+    capacity buffer in NumPy mode, or the backing list itself in list
+    mode.  Callers indexing ``view`` must stay below ``size`` — rows
+    beyond it are uninitialized capacity.
+    """
+
+    __slots__ = ("data", "view", "size", "kind", "numpy")
+
+    def __init__(
+        self,
+        kind: str = "int",
+        capacity: int = 0,
+        numpy_mode: bool | None = None,
+    ) -> None:
+        self.kind = kind
+        self.size = 0
+        self.numpy = HAVE_NUMPY if numpy_mode is None else numpy_mode
+        if self.numpy:
+            dtype = _np.int64 if kind == "int" else _np.bool_
+            self.data = _np.zeros(max(capacity, 4), dtype=dtype)
+            self.view = memoryview(self.data)
+        else:
+            self.data = []
+            self.view = self.data
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+
+    def _grow(self, need: int) -> None:
+        capacity = max(need, 2 * len(self.data), 4)
+        buffer = _np.zeros(capacity, dtype=self.data.dtype)
+        buffer[: self.size] = self.data[: self.size]
+        self.data = buffer
+        self.view = memoryview(buffer)
+
+    def reserve(self, capacity: int) -> None:
+        """Grow the buffer to at least ``capacity`` rows (NumPy mode)."""
+        if self.numpy and capacity > len(self.data):
+            self._grow(capacity)
+
+    def append(self, value) -> None:
+        if self.numpy:
+            if self.size == len(self.data):
+                self._grow(self.size + 1)
+            self.view[self.size] = value
+            self.size += 1
+        else:
+            self.data.append(value)
+            self.size += 1
+
+    def extend_zeros(self, count: int) -> None:
+        """Append ``count`` zero rows (single growth step at most)."""
+        if self.numpy:
+            need = self.size + count
+            if need > len(self.data):
+                self._grow(need)
+            self.data[self.size : need] = 0
+            self.size = need
+        else:
+            self.data.extend([0] * count)
+            self.size += count
+
+    # ------------------------------------------------------------------
+    # Wholesale replacement
+    # ------------------------------------------------------------------
+
+    def adopt(self, values: list) -> None:
+        """Replace the contents with ``values``.
+
+        In list mode the list is adopted *by reference* — this is what
+        preserves the historical aliasing contract where a cached
+        derived-state list and the column are one object.  In NumPy
+        mode the values are copied into a fresh buffer (holders of old
+        views keep seeing the superseded snapshot, exactly like holders
+        of a replaced list).
+        """
+        if self.numpy:
+            self.data = _np.array(values, dtype=self.data.dtype)
+            self.view = memoryview(self.data)
+            self.size = len(values)
+        else:
+            self.data = values
+            self.view = values
+            self.size = len(values)
+
+    def adopt_copy(self, values) -> None:
+        """Replace the contents with a copy of ``values`` (any sequence)."""
+        if self.numpy:
+            self.adopt(values)  # np.array always copies
+        else:
+            self.adopt(list(values))
+
+    def truncate(self, size: int) -> None:
+        if self.numpy:
+            self.size = size
+        else:
+            del self.data[size:]
+            self.size = size
+
+    def clear(self) -> None:
+        self.truncate(0)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def slice(self):
+        """Scalar twin of the valid prefix (the list itself in list mode)."""
+        if self.numpy:
+            return self.view[: self.size]
+        return self.data
+
+    def nparray(self):
+        """Zero-copy ndarray of the valid prefix (NumPy mode only)."""
+        return self.data[: self.size]
+
+    def tolist(self) -> list:
+        if self.numpy:
+            return self.data[: self.size].tolist()
+        return list(self.data)
+
+    def duplicate(self) -> "Column":
+        """An independent copy (same mode, same capacity, same rows)."""
+        new = Column.__new__(Column)
+        new.kind = self.kind
+        new.size = self.size
+        new.numpy = self.numpy
+        if self.numpy:
+            buffer = _np.zeros(len(self.data), dtype=self.data.dtype)
+            buffer[: self.size] = self.data[: self.size]
+            new.data = buffer
+            new.view = memoryview(buffer)
+        else:
+            new.data = list(self.data)
+            new.view = new.data
+        return new
+
+
+#: Slot sentinels for :class:`FlatStrash` (vars are always >= 1).
+_EMPTY = -1
+_TOMB = -2
+
+
+class FlatStrash:
+    """Open-addressing ``(fanin0, fanin1) -> var`` structural-hash table.
+
+    Implements the subset of the ``dict`` protocol the AIG core uses:
+    ``get`` / ``__setitem__`` / ``__delitem__`` / ``setdefault`` /
+    ``__contains__`` / ``__len__`` / ``copy``.  Deleting a missing key
+    is a no-op (the core only deletes keys it just looked up).
+    """
+
+    __slots__ = ("_key0", "_key1", "_value", "_mask", "_size", "_used")
+
+    def __init__(self, capacity: int = 16) -> None:
+        cap = 16
+        while cap < capacity:
+            cap <<= 1
+        self._alloc(cap)
+
+    def _alloc(self, cap: int) -> None:
+        self._key0 = array("q", bytes(8 * cap))
+        self._key1 = array("q", bytes(8 * cap))
+        self._value = array("q", [_EMPTY]) * cap
+        self._mask = cap - 1
+        self._size = 0
+        self._used = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _find(self, k0: int, k1: int) -> tuple[int, int]:
+        """(slot of a live match or -1, insertion slot or -1)."""
+        mask = self._mask
+        values = self._value
+        key0 = self._key0
+        key1 = self._key1
+        slot = hash((k0, k1)) & mask
+        free = -1
+        while True:
+            value = values[slot]
+            if value == _EMPTY:
+                return -1, (slot if free < 0 else free)
+            if value == _TOMB:
+                if free < 0:
+                    free = slot
+            elif key0[slot] == k0 and key1[slot] == k1:
+                return slot, -1
+            slot = (slot + 1) & mask
+
+    def get(self, key, default=None):
+        slot, _ = self._find(key[0], key[1])
+        if slot < 0:
+            return default
+        return self._value[slot]
+
+    def __contains__(self, key) -> bool:
+        return self._find(key[0], key[1])[0] >= 0
+
+    def __setitem__(self, key, var: int) -> None:
+        slot, free = self._find(key[0], key[1])
+        if slot >= 0:
+            self._value[slot] = var
+            return
+        self._insert(free, key[0], key[1], var)
+
+    def setdefault(self, key, var: int) -> int:
+        slot, free = self._find(key[0], key[1])
+        if slot >= 0:
+            return self._value[slot]
+        self._insert(free, key[0], key[1], var)
+        return var
+
+    def __delitem__(self, key) -> None:
+        slot, _ = self._find(key[0], key[1])
+        if slot >= 0:
+            self._value[slot] = _TOMB
+            self._size -= 1
+
+    def _insert(self, slot: int, k0: int, k1: int, var: int) -> None:
+        if self._value[slot] == _EMPTY:
+            self._used += 1
+        self._key0[slot] = k0
+        self._key1[slot] = k1
+        self._value[slot] = var
+        self._size += 1
+        # Keep occupancy (live + tombstones) at or under half the
+        # capacity so a probe chain always terminates on an empty slot.
+        if 2 * self._used > self._mask:
+            self._rebuild(self._target_capacity(self._size))
+
+    @staticmethod
+    def _target_capacity(entries: int) -> int:
+        cap = 16
+        while cap < 4 * (entries + 1):
+            cap <<= 1
+        return cap
+
+    def _rebuild(self, cap: int) -> None:
+        old_key0 = self._key0
+        old_key1 = self._key1
+        old_values = self._value
+        self._alloc(cap)
+        for slot, value in enumerate(old_values):
+            if value >= 0:
+                self[(old_key0[slot], old_key1[slot])] = value
+
+    def reserve(self, entries: int) -> None:
+        """Pre-size the table for ``entries`` live keys."""
+        cap = self._target_capacity(entries)
+        if cap > self._mask + 1:
+            self._rebuild(cap)
+
+    def copy(self) -> "FlatStrash":
+        new = FlatStrash.__new__(FlatStrash)
+        new._key0 = self._key0[:]
+        new._key1 = self._key1[:]
+        new._value = self._value[:]
+        new._mask = self._mask
+        new._size = self._size
+        new._used = self._used
+        return new

@@ -433,13 +433,24 @@ def _replace(
     # parallel kernel in both replace modes — what [9] serializes is
     # the replacement decision, not the table build.
     table = NodeHashTable(expected=max(aig.num_ands * 2, 64))
-    survivors = list(aig.and_vars())
-    fanin_pairs = [aig.fanins(var) for var in survivors]
-    seed_works = table.seed_batch(
-        [pair[0] for pair in fanin_pairs],
-        [pair[1] for pair in fanin_pairs],
-        survivors,
-    )
+    if backend.use_numpy():
+        # The graph is static here, so the survivor sweep reads the
+        # core's column views in place — no per-node facade calls and
+        # no materialized pair list.  Orders and values match the
+        # scalar sweep exactly (live ANDs in ascending id order).
+        survivors = aig.live_and_array()
+        fan0, fan1, _ = aig.arrays()
+        seed_works = table.seed_batch(
+            fan0[survivors], fan1[survivors], survivors
+        )
+    else:
+        survivors = list(aig.and_vars())
+        fanin_pairs = [aig.fanins(var) for var in survivors]
+        seed_works = table.seed_batch(
+            [pair[0] for pair in fanin_pairs],
+            [pair[1] for pair in fanin_pairs],
+            survivors,
+        )
     machine.launch("rf.seed_table", seed_works or [0])
 
     def alloc(key0: int, key1: int) -> int:

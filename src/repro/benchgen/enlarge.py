@@ -15,8 +15,11 @@ from repro.aig.literals import lit_compl, lit_not_cond, lit_var
 def double(aig: Aig) -> Aig:
     """One application of ``double``: two disjoint copies, side by side."""
     out = Aig(f"{aig.name}_2x")
+    out.reserve(2 * aig.num_vars, 2 * aig.num_ands)
     for copy in range(2):
-        lit_map: dict[int, int] = {0: 0}
+        # Indexed by source var (dense ids); a dict here dominates the
+        # build at the million-node scales the Figure 7 lane uses.
+        lit_map: list[int] = [0] * aig.num_vars
         for index, var in enumerate(aig.pis):
             name = aig.pi_name(index)
             lit_map[var] = out.add_pi(

@@ -23,7 +23,16 @@ is bit-identical by construction.  Hit/miss/extend events feed the
 ``engine.cache_*`` counters of the metrics registry (see
 docs/OBSERVABILITY.md) and the per-context ``counters`` dict.
 
-**Cached lists are shared, not copied.**  Callers must treat them as
+Levels and fanout counts are stored in the graph-owned columns of the
+array core (``Aig._levelc`` / ``Aig._nrefc``): a miss adopts the fresh
+list into the column, an extend appends/patches the column in place,
+and the cached value is the column's scalar twin (a ``memoryview``
+slice under NumPy, the adopted list itself otherwise).  Refcount
+rewrites bump the AIG's ``_ref_version`` only — they never invalidate
+the structural views.  Fanout lists, the PO mask and the topological
+order remain plain Python lists cached on the context.
+
+**Cached values are shared, not copied.**  Callers must treat them as
 read-only, or restore them exactly (the dereference/re-reference
 discipline of the MFFC walks qualifies).
 
@@ -111,23 +120,33 @@ class GraphContext:
         ):
             # Append-only growth: existing levels are final (a node's
             # level depends only on earlier ids), compute the tail.
-            levels = cached[1]
+            col = aig._levelc
+            size = len(cached[1])
+            if col.size != size:
+                # Column superseded (e.g. a second context on the same
+                # AIG); realign it with this cache's snapshot.
+                col.adopt_copy(cached[1])
+            num = aig.num_vars
+            col.extend_zeros(num - size)
+            values = col.view
             fan0 = aig._fanin0
             fan1 = aig._fanin1
             dead = aig._dead
-            for var in range(len(levels), aig.num_vars):
+            for var in range(size, num):
                 f0 = fan0[var]
                 if f0 < 0 or dead[var]:
-                    levels.append(0)
+                    values[var] = 0
                     continue
-                l0 = levels[f0 >> 1]
-                l1 = levels[fan1[var] >> 1]
-                levels.append((l0 if l0 >= l1 else l1) + 1)
+                l0 = values[f0 >> 1]
+                l1 = values[fan1[var] >> 1]
+                values[var] = (l0 if l0 >= l1 else l1) + 1
+            levels = col.slice()
             self._levels = (key, levels)
             self._extend()
             return levels
         self._miss()
-        levels = traversal.aig_levels(aig)
+        aig._levelc.adopt(traversal.aig_levels(aig))
+        levels = aig._levelc.slice()
         self._levels = (key, levels)
         return levels
 
@@ -164,22 +183,30 @@ class GraphContext:
         ):
             # Append-only growth: new nodes add references to their
             # fanins; existing edges (and the PO references) stand.
-            counts = cached[1]
-            size = len(counts)
-            counts.extend([0] * (aig.num_vars - size))
+            col = aig._nrefc
+            size = len(cached[1])
+            if col.size != size:
+                col.adopt_copy(cached[1])
+            num = aig.num_vars
+            col.extend_zeros(num - size)
+            values = col.view
             fan0 = aig._fanin0
             fan1 = aig._fanin1
             dead = aig._dead
-            for var in range(size, aig.num_vars):
+            for var in range(size, num):
                 if fan0[var] < 0 or dead[var]:
                     continue
-                counts[fan0[var] >> 1] += 1
-                counts[fan1[var] >> 1] += 1
+                values[fan0[var] >> 1] += 1
+                values[fan1[var] >> 1] += 1
+            aig._ref_version += 1
+            counts = col.slice()
             self._fanout_counts = (key, counts)
             self._extend()
             return counts
         self._miss()
-        counts = traversal.fanout_counts(aig)
+        aig._nrefc.adopt(traversal.fanout_counts(aig))
+        aig._ref_version += 1
+        counts = aig._nrefc.slice()
         self._fanout_counts = (key, counts)
         return counts
 
@@ -265,16 +292,20 @@ class GraphContext:
 
         ``clone`` must be a fresh :meth:`~repro.aig.aig.Aig.clone` of
         this context's AIG (the version counters carry over, keeping
-        the copied entries valid).  Lists are copied — including the
-        inner fanout lists — so in-place extension on either side never
+        the copied entries valid).  Values are copied — levels and
+        refcounts into the clone's own columns, the inner fanout lists
+        as fresh lists — so in-place extension on either side never
         leaks to the other.
         """
         forked = GraphContext(clone)
         if self._levels is not None:
-            forked._levels = (self._levels[0], list(self._levels[1]))
+            clone._levelc.adopt_copy(self._levels[1])
+            forked._levels = (self._levels[0], clone._levelc.slice())
         if self._fanout_counts is not None:
+            clone._nrefc.adopt_copy(self._fanout_counts[1])
+            clone._ref_version += 1
             forked._fanout_counts = (
-                self._fanout_counts[0], list(self._fanout_counts[1])
+                self._fanout_counts[0], clone._nrefc.slice()
             )
         if self._fanout_lists is not None:
             forked._fanout_lists = (

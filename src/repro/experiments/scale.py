@@ -1,0 +1,226 @@
+"""Scale lane: standalone million-node bench drivers with RSS accounting.
+
+The array-backed :class:`repro.aig.aig.Aig` core exists so that the
+benchmarks of the paper's Figure 7 regime — millions of AND nodes —
+fit in ordinary process memory.  This module is the driver behind
+``benchmarks/bench_fig7_scaling.py --scale N`` and the CI
+``bench-scale`` job: it builds one :func:`repro.benchgen.enlarge`-d
+benchmark, runs a named script on the chosen engine, and records wall
+clock, modeled machine time, and the process peak RSS in a small JSON
+document suitable for artifact upload and trend inspection.
+
+Peak RSS is read from ``/proc/self/status`` (``VmHWM``, the process
+high-water mark) with a ``resource.getrusage`` fallback, so the number
+covers *everything* the run touched — columns, strash table, derived
+state, and pass-internal working sets alike.  Because it is a process
+high-water mark, distinct phases of one process share one counter; the
+driver snapshots it after the build and again after the run so the
+build-only footprint is attributable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro import observe
+from repro.aig import traversal
+from repro.benchgen.suite import load_benchmark
+from repro.engine import run_script
+from repro.observe.export import export_trace
+from repro.parallel.machine import ParallelMachine, SeqMeter
+
+#: Schema identifier for the emitted JSON document.
+FORMAT = "repro.bench-scale/1"
+
+
+def peak_rss_mb() -> float:
+    """Process peak RSS (``VmHWM``) in MiB; 0.0 when unavailable."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return usage / 1024.0  # Linux reports KiB
+    except (ImportError, OSError):  # pragma: no cover
+        return 0.0
+
+
+def run_scale_point(
+    base: str,
+    scale: int,
+    script: str,
+    engine: str = "gpu",
+    trace_path: str | None = None,
+) -> dict:
+    """Build ``base`` at ``scale`` doublings, run ``script``, measure.
+
+    Returns one bench point: node/level counts, build and run wall
+    time, modeled machine time, peak RSS snapshots, and (on the GPU
+    engine) the per-tag modeled-time breakdown that Figure 8 plots.
+    """
+    build_start = time.perf_counter()
+    aig = load_benchmark(base, scale)
+    build_wall = time.perf_counter() - build_start
+    point: dict = {
+        "base": base,
+        "scale": scale,
+        "script": script,
+        "engine": engine,
+        "nodes": aig.num_ands,
+        "vars": aig.num_vars,
+        "pis": aig.num_pis,
+        "pos": aig.num_pos,
+        "levels": traversal.aig_depth(aig),
+        "build_wall_s": build_wall,
+        "build_peak_rss_mb": peak_rss_mb(),
+    }
+    observe.enable()
+    machine = ParallelMachine()
+    meter = SeqMeter()
+    run_start = time.perf_counter()
+    try:
+        if engine == "gpu":
+            result = run_script(
+                aig, script, engine=engine, machine=machine
+            )
+        else:
+            result = run_script(aig, script, engine=engine, meter=meter)
+        run_wall = time.perf_counter() - run_start
+    finally:
+        tracer, metrics = observe.disable()
+    point.update(
+        {
+            "run_wall_s": run_wall,
+            "modeled_time_s": result.modeled_time(),
+            "nodes_after": result.aig.num_ands,
+            "levels_after": traversal.aig_depth(result.aig),
+            "peak_rss_mb": peak_rss_mb(),
+        }
+    )
+    if engine == "gpu":
+        total = machine.total_time()
+        shares: dict[str, float] = {}
+        for tag, entry in machine.breakdown_by_tag().items():
+            spent = entry["gpu"] + entry["host"]
+            shares[tag] = shares.get(tag, 0.0) + (
+                spent / total if total else 0.0
+            )
+        point["modeled_shares"] = shares
+    if trace_path and tracer is not None:
+        export_trace(
+            trace_path,
+            tracer,
+            metrics,
+            meta={"bench": "scale", **{
+                key: point[key]
+                for key in ("base", "scale", "script", "engine", "nodes")
+            }},
+        )
+        point["trace"] = trace_path
+    return point
+
+
+def scale_main(
+    argv: list[str] | None = None,
+    bench: str = "fig7_scaling",
+    default_script: str = "b",
+) -> int:
+    """Shared CLI for the scale-mode bench drivers.
+
+    Exit status: 0 on success, 1 when the built benchmark misses
+    ``--min-nodes`` or the run exceeds the ``--max-rss-mb`` ceiling.
+    """
+    parser = argparse.ArgumentParser(
+        prog=f"bench_{bench} --scale",
+        description=(
+            "Run one enlarged benchmark at scale and record wall time "
+            "+ peak RSS (the CI bench-scale lane)."
+        ),
+    )
+    parser.add_argument(
+        "--base", default="vga_lcd", help="suite benchmark to enlarge"
+    )
+    parser.add_argument(
+        "--scale", type=int, default=11,
+        help="number of `double` applications (default: 11)",
+    )
+    parser.add_argument(
+        "--script", default=default_script,
+        help=f"named script or command list (default: {default_script})",
+    )
+    parser.add_argument(
+        "--engine", default="gpu", choices=("gpu", "seq"),
+        help="pass engine (default: gpu)",
+    )
+    parser.add_argument(
+        "--min-nodes", type=int, default=1_000_000,
+        help="fail unless the built AIG has at least this many ANDs",
+    )
+    parser.add_argument(
+        "--max-rss-mb", type=float, default=0.0,
+        help="fail if peak RSS exceeds this many MiB (0: no ceiling)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the bench JSON here"
+    )
+    parser.add_argument(
+        "--trace", default=None, help="write the observe trace here"
+    )
+    args = parser.parse_args(argv)
+
+    point = run_scale_point(
+        args.base, args.scale, args.script, args.engine,
+        trace_path=args.trace,
+    )
+    document = {
+        "format": FORMAT,
+        "bench": bench,
+        "min_nodes": args.min_nodes,
+        "max_rss_mb": args.max_rss_mb,
+        "points": [point],
+    }
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    print(
+        f"{bench}: {args.base} scale {args.scale} -> "
+        f"{point['nodes']} ANDs / {point['levels']} levels"
+    )
+    print(
+        f"  build {point['build_wall_s']:.2f}s "
+        f"(peak RSS {point['build_peak_rss_mb']:.0f} MiB)"
+    )
+    print(
+        f"  {args.script} [{args.engine}] {point['run_wall_s']:.2f}s "
+        f"wall, {point['modeled_time_s']:.6f}s modeled "
+        f"(peak RSS {point['peak_rss_mb']:.0f} MiB)"
+    )
+    status = 0
+    if point["nodes"] < args.min_nodes:
+        print(
+            f"FAIL: {point['nodes']} ANDs < --min-nodes "
+            f"{args.min_nodes}",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.max_rss_mb and point["peak_rss_mb"] > args.max_rss_mb:
+        print(
+            f"FAIL: peak RSS {point['peak_rss_mb']:.0f} MiB > "
+            f"--max-rss-mb {args.max_rss_mb:.0f}",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+__all__ = ["FORMAT", "peak_rss_mb", "run_scale_point", "scale_main"]

@@ -153,7 +153,7 @@ def test_context_hit_miss_accounting(small_aig):
     assert context.counters == {"hits": 0, "misses": 1, "extends": 0}
     assert context.levels() is levels
     assert context.counters == {"hits": 1, "misses": 1, "extends": 0}
-    assert levels == traversal.aig_levels(small_aig)
+    assert list(levels) == traversal.aig_levels(small_aig)
 
 
 def test_context_append_extends_all_caches():
@@ -177,8 +177,8 @@ def test_context_append_extends_all_caches():
     fanouts = context.fanout_lists()
     order = context.topological_order()
     assert context.counters["extends"] == 4
-    assert levels == traversal.aig_levels(aig)
-    assert counts == traversal.fanout_counts(aig)
+    assert list(levels) == traversal.aig_levels(aig)
+    assert list(counts) == traversal.fanout_counts(aig)
     assert fanouts == traversal.fanout_lists(aig)
     assert order == traversal.topological_order(aig)
 
@@ -190,7 +190,7 @@ def test_context_invalidation_on_structural_mutations(small_aig):
     small_aig.mark_dead(victim)
     context.levels()
     assert context.counters["misses"] == 2  # not a hit, not an extend
-    assert context.levels() == traversal.aig_levels(small_aig)
+    assert list(context.levels()) == traversal.aig_levels(small_aig)
     small_aig.revive(victim)
     context.levels()
     assert context.counters["misses"] == 3
@@ -211,9 +211,11 @@ def test_context_po_version_dependence(small_aig):
     small_aig.add_po(target << 1)
     # PO-dependent state recomputes; PO-independent levels still hit.
     assert context.depth() == traversal.aig_depth(small_aig)
-    assert context.fanout_counts() == traversal.fanout_counts(small_aig)
+    assert list(context.fanout_counts()) == traversal.fanout_counts(
+        small_aig
+    )
     assert context.po_fanout_mask() == traversal.po_fanout_mask(small_aig)
-    assert context.fanout_counts() != counts  # the new PO reference
+    assert list(context.fanout_counts()) != counts  # the new PO reference
     assert context.po_fanout_mask() != mask
 
 
