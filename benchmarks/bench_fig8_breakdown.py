@@ -57,8 +57,17 @@ def test_fig8_deep_aigs_pay_more_for_levelwise_passes(benchmark):
 def main(argv=None) -> int:
     from repro.experiments.scale import scale_main
 
+    # Full rf_resyn at >=1M nodes peaks ~5.7 GiB — pass-internal
+    # working sets (fanout adjacency lists, cut/truth caches), not
+    # graph copies, so the bulk-construction work does not lower it.
+    # The documented floor ships as this driver's default ceiling
+    # (docs/ARCHITECTURE.md, "Memory budget"); the fig7 single-pass
+    # lane keeps its tighter 4 GiB gate in CI.
     return scale_main(
-        argv, bench="fig8_breakdown", default_script="rf_resyn"
+        argv,
+        bench="fig8_breakdown",
+        default_script="rf_resyn",
+        default_max_rss_mb=6144,
     )
 
 

@@ -21,6 +21,16 @@ Usage::
 
     python scripts/bench_report.py BENCH_PR.json \
         --baseline BENCH_BASELINE.json
+
+The script also reads ``repro.bench-scale/1`` documents (the
+bench-scale lane of ``repro.experiments.scale``).  Those are
+single-run measurements, not baseline comparisons: each point's
+construction throughput, strash load factor/rehashes and peak RSS
+are printed, and ``--min-build-rate`` gates the build throughput
+(the bulk-construction win this lane exists to protect)::
+
+    python scripts/bench_report.py BENCH_SCALE.json \
+        --min-build-rate 650000
 """
 
 from __future__ import annotations
@@ -32,6 +42,44 @@ from typing import Any
 
 DEFAULT_MODELED_TOLERANCE = 0.10
 DEFAULT_WALL_TOLERANCE = 0.25
+
+#: Format identifier of repro.experiments.scale documents.
+SCALE_FORMAT = "repro.bench-scale/1"
+
+
+def scale_report(
+    document: dict[str, Any], min_build_rate: float = 0.0
+) -> tuple[list[str], list[str]]:
+    """Summarize a bench-scale document; gate build throughput.
+
+    Returns ``(failures, lines)``: gate violations and the per-point
+    report lines.  ``min_build_rate`` is in ANDs built per second of
+    wall clock (0 disables the gate).
+    """
+    failures: list[str] = []
+    lines: list[str] = []
+    for point in document.get("points", []):
+        label = (
+            f"{point['base']} x2^{point['scale']} "
+            f"[{point['script']}/{point['engine']}]"
+        )
+        rate = point.get("build_ands_per_sec", 0.0)
+        lines.append(
+            f"{label}: {point['nodes']} ANDs, build "
+            f"{point['build_wall_s']:.2f}s ({rate:,.0f} ANDs/s), "
+            f"strash load {point.get('strash_load_factor', 0.0):.2f} "
+            f"/ {point.get('strash_rehashes', 0)} rehashes, run "
+            f"{point['run_wall_s']:.2f}s, peak RSS "
+            f"{point['peak_rss_mb']:.0f} MiB"
+        )
+        if min_build_rate and rate < min_build_rate:
+            failures.append(
+                f"{label}: build rate {rate:,.0f} ANDs/s < "
+                f"--min-build-rate {min_build_rate:,.0f}"
+            )
+    if not lines:
+        failures.append("bench-scale document contains no points")
+    return failures, lines
 
 
 def case_key(case: dict[str, Any]) -> tuple:
@@ -125,10 +173,28 @@ def main(argv: list[str] | None = None) -> int:
         "--strict-wall", action="store_true",
         help="treat wall-clock flags as failures",
     )
+    parser.add_argument(
+        "--min-build-rate", type=float, default=0.0,
+        help="bench-scale documents only: fail when construction "
+        "throughput drops below this many ANDs/s (0: no gate)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.current, encoding="ascii") as handle:
         current = json.load(handle)
+    if current.get("format") == SCALE_FORMAT:
+        failures, lines = scale_report(
+            current, min_build_rate=args.min_build_rate
+        )
+        for message in lines:
+            print(f"POINT {message}")
+        for message in failures:
+            print(f"FAIL  {message}")
+        if failures:
+            print(f"scale gate: FAILED ({len(failures)} failure(s))")
+            return 1
+        print(f"scale gate: ok ({len(lines)} point(s))")
+        return 0
     with open(args.baseline, encoding="ascii") as handle:
         baseline = json.load(handle)
 

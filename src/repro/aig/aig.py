@@ -37,6 +37,7 @@ from repro.aig.literals import (
     lit_var,
     make_lit,
 )
+from repro.aig import store
 from repro.aig.store import Column, FlatStrash
 
 #: Sentinel fanin value marking a primary-input row.
@@ -44,6 +45,16 @@ PI_FANIN = -1
 
 #: Sentinel fanin value marking the constant node row.
 CONST_FANIN = -2
+
+#: Below this many literal pairs :meth:`Aig.add_and_batch` runs the
+#: scalar loop — vectorization setup dominates on tiny batches.  Pure
+#: wall-clock heuristic (results are bit-identical either way); tests
+#: monkeypatch it to 0 to drive the vector path on small inputs.
+_BATCH_CUTOFF = 64
+
+#: Below this many variable rows :meth:`Aig.compact` keeps the scalar
+#: rebuild; same wall-clock-only contract as :data:`_BATCH_CUTOFF`.
+_BULK_COMPACT_MIN = 2048
 
 
 class Aig:
@@ -217,6 +228,103 @@ class Aig:
             strash._insert(free, f0, f1, var)
         self._live_ands += 1
         return make_lit(var)
+
+    def add_and_batch(self, lits0, lits1):
+        """Vectorized :meth:`add_and` over two parallel literal arrays.
+
+        Bit-identical to ``[self.add_and(a, b) for a, b in
+        zip(lits0, lits1)]`` — same constant folding, same trivial
+        identities, same strash reuse (including duplicate keys inside
+        the batch and dead-node rebinds) and same variable numbering —
+        with two documented deviations: every literal must reference a
+        *pre-existing* variable (batch items cannot consume nodes the
+        same batch creates), and validation runs up front, so a bad
+        literal raises before any node is created.  Returns an int64
+        ndarray of result literals on the vector path, a list from the
+        scalar fallback (list mode, or fewer than
+        :data:`_BATCH_CUTOFF` items).
+        """
+        count = len(lits0)
+        if len(lits1) != count:
+            raise ValueError("literal arrays differ in length")
+        if (
+            not store.HAVE_NUMPY
+            or not self._f0c.numpy
+            or count < _BATCH_CUTOFF
+        ):
+            return [
+                self.add_and(a, b) for a, b in zip(lits0, lits1)
+            ]
+        import numpy as np
+
+        from repro.parallel.vec import group_keys
+
+        arr0 = np.ascontiguousarray(lits0, dtype=np.int64)
+        arr1 = np.ascontiguousarray(lits1, dtype=np.int64)
+        size = self._f0c.size
+        bad0 = (arr0 < 0) | ((arr0 >> 1) >= size)
+        bad1 = (arr1 < 0) | ((arr1 >> 1) >= size)
+        if bad0.any() or bad1.any():
+            index = int(np.flatnonzero(bad0 | bad1)[0])
+            lit = int(arr0[index]) if bad0[index] else int(arr1[index])
+            raise ValueError(
+                f"literal {lit} references an unknown variable"
+            )
+        # Canonicalize and fold, in the scalar rule order.
+        f0 = np.minimum(arr0, arr1)
+        f1 = np.maximum(arr0, arr1)
+        out = np.full(count, -1, dtype=np.int64)
+        rest = f0 != CONST0  # f0 == 0 folds to const-false (out stays)
+        out[~rest] = CONST0
+        pick = rest & (f0 == 1)  # const-true fanin: reduce to f1
+        out[pick] = f1[pick]
+        rest &= ~pick
+        pick = rest & (f0 == f1)  # x & x = x
+        out[pick] = f0[pick]
+        rest &= ~pick
+        out[rest & (f0 == (f1 ^ 1))] = CONST0  # x & !x = 0
+        pending = np.flatnonzero(out == -1)
+        if pending.size:
+            pend_k0 = f0[pending]
+            pend_k1 = f1[pending]
+            # Duplicate keys inside the batch fold onto their first
+            # occurrence, which is exactly the scalar loop's strash
+            # hit on the node the earlier item created.
+            _, rep_pos, reps = group_keys(pend_k0, pend_k1)
+            rep_k0 = pend_k0[reps]
+            rep_k1 = pend_k1[reps]
+            strash = self._strash
+            slots, resident = strash._probe_bulk(rep_k0, rep_k1)
+            dead = self._deadc.nparray()
+            hit = resident >= 0
+            live_hit = np.zeros(reps.shape[0], dtype=bool)
+            live_hit[hit] = ~dead[resident[hit]]
+            create = ~live_hit
+            created = int(create.sum())
+            new_vars = self._f0c.size + np.cumsum(create) - 1
+            rep_var = np.where(live_hit, resident, new_vars)
+            self._f0c.extend_array(rep_k0[create])
+            self._f1c.extend_array(rep_k1[create])
+            self._deadc.extend_zeros(created)
+            # A key match on a dead node rebinds its slot in place
+            # (scalar ``add_and`` does the same); the rebinds must
+            # land before ``insert_bulk``, whose rebuild would move
+            # the probed slots.
+            rebind = create & hit
+            if rebind.any():
+                values = np.frombuffer(
+                    strash._value, dtype=np.int64
+                )
+                values[slots[rebind]] = new_vars[rebind]
+            fresh = create & ~hit
+            if fresh.any():
+                strash.insert_bulk(
+                    rep_k0[fresh], rep_k1[fresh], new_vars[fresh]
+                )
+            self._version += created
+            self._live_ands += created
+            out[pending] = (rep_var << 1)[rep_pos]
+        return out
 
     def add_raw_and(self, lit0: int, lit1: int) -> int:
         """Create an AND node bypassing folding and structural hashing.
@@ -467,6 +575,10 @@ class Aig:
             literal.
         """
         resolve = resolve or {}
+        if not resolve:
+            bulk = self._compact_bulk()
+            if bulk is not None:
+                return bulk
         new = Aig(self.name, capacity=self._f0c.size)
         new._strash.reserve(self._live_ands)
         var_map: dict[int, int] = {0: CONST0}
@@ -524,6 +636,174 @@ class Aig:
         for index, po_lit in enumerate(self._poc.slice()):
             new.add_po(build(po_lit), po_names[index])
         return new, var_map
+
+    def _compact_bulk(self):
+        """Vectorized :meth:`compact` (no resolve map), or ``None``.
+
+        Walks the PO-reachable set with a lean scalar DFS reproducing
+        the scalar rebuild's exact completion order (= new variable
+        numbering), then replaces the per-node ``add_and`` loop with
+        one gather over the fanin columns and one bulk strash build.
+        Returns ``None`` — caller falls back to the scalar rebuild —
+        in list mode, below :data:`_BULK_COMPACT_MIN` rows, or when
+        the reachable set is not fold-free/strash-clean (a constant
+        fanin, ``x & x`` / ``x & !x``, or a duplicate fanin key, any
+        of which would make a scalar ``add_and`` fold or reuse).
+        """
+        if (
+            not store.HAVE_NUMPY
+            or not self._f0c.numpy
+            or self._f0c.size < _BULK_COMPACT_MIN
+        ):
+            return None
+        import numpy as np
+
+        fan0 = self._f0c.view
+        fan1 = self._f1c.view
+        num = self._f0c.size
+        mapped = bytearray(num)
+        mapped[0] = 1
+        for var in self._pic.slice():
+            mapped[var] = 1
+        order: list[int] = []
+        complete = order.append
+        for po_lit in self._poc.slice():
+            root = po_lit >> 1
+            if mapped[root]:
+                continue
+            stack = [root]
+            push = stack.append
+            while stack:
+                var = stack[-1]
+                if mapped[var]:
+                    stack.pop()
+                    continue
+                if fan0[var] < 0:
+                    raise ValueError(
+                        f"reached non-AND unmapped variable {var}"
+                    )
+                var0 = fan0[var] >> 1
+                var1 = fan1[var] >> 1
+                ready0 = mapped[var0]
+                ready1 = mapped[var1]
+                if ready0 and ready1:
+                    stack.pop()
+                    mapped[var] = 1
+                    complete(var)
+                else:
+                    if not ready0:
+                        push(var0)
+                    if not ready1:
+                        push(var1)
+        kept = len(order)
+        num_pis = self._pic.size
+        f0a, f1a, _ = self.arrays()
+        old_vars = np.fromiter(order, dtype=np.int64, count=kept)
+        of0 = f0a[old_vars]
+        of1 = f1a[old_vars]
+        if kept:
+            if int(of0.min()) < 2 or int(of1.min()) < 2:
+                return None  # constant fanin: scalar add_and folds
+            if bool(((of0 >> 1) == (of1 >> 1)).any()):
+                return None  # x & x or x & !x
+            key_lo = np.minimum(of0, of1)
+            key_hi = np.maximum(of0, of1)
+            sort = np.lexsort((key_hi, key_lo))
+            lo = key_lo[sort]
+            hi = key_hi[sort]
+            if bool(
+                ((lo[1:] == lo[:-1]) & (hi[1:] == hi[:-1])).any()
+            ):
+                return None  # duplicate key: scalar strash reuses
+        new_var = np.full(num, -1, dtype=np.int64)
+        new_var[0] = 0
+        pi_vars = self._pic.nparray()
+        new_var[pi_vars] = 1 + np.arange(num_pis, dtype=np.int64)
+        new_var[old_vars] = (
+            1 + num_pis + np.arange(kept, dtype=np.int64)
+        )
+        nf0 = (new_var[of0 >> 1] << 1) | (of0 & 1)
+        nf1 = (new_var[of1 >> 1] << 1) | (of1 & 1)
+        and_k0 = np.minimum(nf0, nf1)
+        and_k1 = np.maximum(nf0, nf1)
+        total = 1 + num_pis + kept
+        f0col = np.empty(total, dtype=np.int64)
+        f1col = np.empty(total, dtype=np.int64)
+        f0col[0] = f1col[0] = CONST_FANIN
+        f0col[1 : 1 + num_pis] = PI_FANIN
+        f1col[1 : 1 + num_pis] = PI_FANIN
+        f0col[1 + num_pis :] = and_k0
+        f1col[1 + num_pis :] = and_k1
+        old_pos = self._poc.nparray()
+        new_pos = (new_var[old_pos >> 1] << 1) | (old_pos & 1)
+        new = Aig._from_flat(
+            self.name,
+            f0col,
+            f1col,
+            1 + np.arange(num_pis, dtype=np.int64),
+            list(self._pi_names),
+            new_pos,
+            list(self._po_names),
+            and_k0,
+            and_k1,
+            1 + num_pis + np.arange(kept, dtype=np.int64),
+        )
+        var_map: dict[int, int] = {0: CONST0}
+        var_map.update(
+            zip(self._pic.slice(), range(2, 2 * num_pis + 2, 2))
+        )
+        var_map.update(
+            zip(order, range(2 * (num_pis + 1), 2 * total, 2))
+        )
+        return new, var_map
+
+    @classmethod
+    def _from_flat(
+        cls,
+        name: str,
+        fanin0,
+        fanin1,
+        pi_vars,
+        pi_names: list,
+        po_lits,
+        po_names: list,
+        and_k0,
+        and_k1,
+        and_vars,
+    ) -> "Aig":
+        """Assemble an Aig from complete column arrays (NumPy mode).
+
+        The bulk producers (:meth:`_compact_bulk`,
+        :func:`repro.benchgen.enlarge._double_bulk`) hand in fully
+        remapped fanin columns plus the live AND keys; the strash is
+        populated with one :meth:`FlatStrash.build_bulk`.  Version
+        counters end up exactly where the equivalent scalar
+        ``add_pi``/``add_and``/``add_po`` build would leave them.
+        """
+        new = cls.__new__(cls)
+        new.name = name
+        new._f0c = Column("int")
+        new._f0c.adopt(fanin0)
+        new._f1c = Column("int")
+        new._f1c.adopt(fanin1)
+        new._deadc = Column("bool")
+        new._deadc.adopt_zeros(len(fanin0))
+        new._pic = Column("int")
+        new._pic.adopt(pi_vars)
+        new._poc = Column("int")
+        new._poc.adopt(po_lits)
+        new._levelc = Column("int")
+        new._nrefc = Column("int")
+        new._pi_names = pi_names
+        new._po_names = po_names
+        new._strash = FlatStrash.build_bulk(and_k0, and_k1, and_vars)
+        new._version = len(pi_vars) + len(and_vars)
+        new._shape_version = 0
+        new._po_version = len(po_lits)
+        new._ref_version = 0
+        new._live_ands = len(and_vars)
+        new._graph_context = None
+        return new
 
     # ------------------------------------------------------------------
     # Utilities

@@ -25,6 +25,16 @@ melts long before that.  This module provides the two primitives the
     stdlib-only, so both column modes share one implementation.  Probe
     order is an internal detail: lookups are value-deterministic, so
     graph construction is bit-identical regardless of layout.
+
+Bulk construction (docs/ARCHITECTURE.md, "Bulk construction") rides on
+that determinism contract: :meth:`FlatStrash.insert_bulk`,
+:meth:`FlatStrash.build_bulk` and :meth:`FlatStrash._probe_bulk`
+vectorize slot placement and lookup over whole key arrays with NumPy
+(grouped probe rounds in the style of
+:class:`repro.parallel.vec.VecHashTable`), falling back to the scalar
+loop in list mode or for small batches.  The vector paths hash with
+:func:`_hash_pairs`, an exact NumPy replica of CPython's tuple hash,
+so scalar and bulk probes agree slot for slot.
 """
 
 from __future__ import annotations
@@ -111,6 +121,26 @@ class Column:
             self.data.extend([0] * count)
             self.size += count
 
+    def extend_array(self, values) -> None:
+        """Append a whole batch of rows (single growth step at most).
+
+        ``values`` is an ndarray (or any sequence) in NumPy mode; in
+        list mode it is converted so the column keeps holding plain
+        Python scalars.
+        """
+        count = len(values)
+        if self.numpy:
+            need = self.size + count
+            if need > len(self.data):
+                self._grow(need)
+            self.data[self.size : need] = values
+            self.size = need
+        else:
+            if hasattr(values, "tolist"):
+                values = values.tolist()
+            self.data.extend(values)
+            self.size += count
+
     # ------------------------------------------------------------------
     # Wholesale replacement
     # ------------------------------------------------------------------
@@ -133,6 +163,15 @@ class Column:
             self.data = values
             self.view = values
             self.size = len(values)
+
+    def adopt_zeros(self, count: int) -> None:
+        """Replace the contents with ``count`` zero rows."""
+        if self.numpy:
+            self.data = _np.zeros(max(count, 4), dtype=self.data.dtype)
+            self.view = memoryview(self.data)
+            self.size = count
+        else:
+            self.adopt([0] * count)
 
     def adopt_copy(self, values) -> None:
         """Replace the contents with a copy of ``values`` (any sequence)."""
@@ -191,6 +230,41 @@ class Column:
 _EMPTY = -1
 _TOMB = -2
 
+#: Below this many keys the scalar loop beats vectorization setup.
+_BULK_MIN = 64
+
+#: Constants of CPython's tuple hash (xxHash-style, 64-bit build) and
+#: of its integer hash (reduction modulo the Mersenne prime 2**61-1).
+_XXPRIME_1 = 11400714785074694791
+_XXPRIME_2 = 14029467366897019727
+_XXPRIME_5 = 2870177450012600261
+_PYHASH_MODULUS = (1 << 61) - 1
+
+
+def _hash_pairs(key0, key1):
+    """``hash((k0, k1))`` as ``uint64`` over whole arrays (NumPy mode).
+
+    Bit-exact replica of CPython's tuple hash over two non-negative
+    int lanes, so ``_hash_pairs(...) & mask`` lands on the same slot
+    as the scalar :meth:`FlatStrash._find`.  Int/tuple hashes are not
+    randomized by ``PYTHONHASHSEED``, so this is stable across runs.
+    """
+    modulus = _np.uint64(_PYHASH_MODULUS)
+    acc = _np.full(key0.shape, _XXPRIME_5, dtype=_np.uint64)
+    with _np.errstate(over="ignore"):
+        for lane in (key0, key1):
+            lane = lane.astype(_np.uint64) % modulus
+            acc += lane * _np.uint64(_XXPRIME_2)
+            acc = (acc << _np.uint64(31)) | (acc >> _np.uint64(33))
+            acc *= _np.uint64(_XXPRIME_1)
+        acc += _np.uint64(2) ^ (
+            _np.uint64(_XXPRIME_5) ^ _np.uint64(3527539)
+        )
+    # CPython maps a hash of -1 to -2; as uint64: all-ones maps to
+    # the constant below (== (uint64)-2 reduced by tuplehash).
+    acc[acc == _np.uint64(0xFFFFFFFFFFFFFFFF)] = _np.uint64(1546275796)
+    return acc
+
 
 class FlatStrash:
     """Open-addressing ``(fanin0, fanin1) -> var`` structural-hash table.
@@ -201,12 +275,19 @@ class FlatStrash:
     is a no-op (the core only deletes keys it just looked up).
     """
 
-    __slots__ = ("_key0", "_key1", "_value", "_mask", "_size", "_used")
+    __slots__ = (
+        "_key0", "_key1", "_value", "_mask", "_size", "_used", "rehashes"
+    )
 
     def __init__(self, capacity: int = 16) -> None:
         cap = 16
         while cap < capacity:
             cap <<= 1
+        #: Number of occupancy-driven rebuilds over the table's life.
+        #: Pre-sizing (``reserve`` on an empty table) does not count —
+        #: the counter measures re-placement work, i.e. the geometric
+        #: rehash storms that pre-sizing exists to avoid.
+        self.rehashes = 0
         self._alloc(cap)
 
     def _alloc(self, cap: int) -> None:
@@ -291,16 +372,161 @@ class FlatStrash:
         old_key0 = self._key0
         old_key1 = self._key1
         old_values = self._value
+        size = self._size
+        if size:
+            self.rehashes += 1
+            from repro import observe
+
+            if observe.enabled:
+                observe.count("strash.rehashes")
         self._alloc(cap)
+        if HAVE_NUMPY and size >= _BULK_MIN:
+            values = _np.frombuffer(old_values, dtype=_np.int64)
+            live = values >= 0
+            self._place_bulk(
+                _np.frombuffer(old_key0, dtype=_np.int64)[live],
+                _np.frombuffer(old_key1, dtype=_np.int64)[live],
+                values[live],
+            )
+            self._size = size
+            return
         for slot, value in enumerate(old_values):
             if value >= 0:
                 self[(old_key0[slot], old_key1[slot])] = value
+
+    # ------------------------------------------------------------------
+    # Bulk operations (NumPy-vectorized, scalar fallback)
+    # ------------------------------------------------------------------
+
+    def _place_bulk(self, key0, key1, values) -> None:
+        """Place pairwise-distinct, known-absent keys (int64 arrays).
+
+        The caller guarantees capacity (no rebuild happens here).  Slot
+        assignment runs in grouped probe rounds: every pending key walks
+        to its next free slot, the lowest batch index wins each
+        contested slot, losers re-probe next round.  Placement order is
+        deterministic but need not match the scalar insertion layout —
+        lookups are value-deterministic either way (module docstring).
+        """
+        table_k0 = _np.frombuffer(self._key0, dtype=_np.int64)
+        table_k1 = _np.frombuffer(self._key1, dtype=_np.int64)
+        table_v = _np.frombuffer(self._value, dtype=_np.int64)
+        mask = self._mask
+        slot = (_hash_pairs(key0, key1) & _np.uint64(mask)).astype(
+            _np.int64
+        )
+        pending = _np.arange(key0.shape[0], dtype=_np.int64)
+        filled = 0
+        while pending.size:
+            stuck = _np.flatnonzero(table_v[slot] >= 0)
+            while stuck.size:
+                slot[stuck] = (slot[stuck] + 1) & mask
+                stuck = stuck[table_v[slot[stuck]] >= 0]
+            order = _np.lexsort((pending, slot))
+            sorted_slots = slot[order]
+            first = _np.empty(order.shape[0], dtype=bool)
+            first[0] = True
+            first[1:] = sorted_slots[1:] != sorted_slots[:-1]
+            winners = order[first]
+            win_slots = slot[winners]
+            win_keys = pending[winners]
+            filled += int((table_v[win_slots] == _EMPTY).sum())
+            table_k0[win_slots] = key0[win_keys]
+            table_k1[win_slots] = key1[win_keys]
+            table_v[win_slots] = values[win_keys]
+            losers = order[~first]
+            pending = pending[losers]
+            slot = slot[losers]
+        self._used += filled
+
+    def insert_bulk(self, key0, key1, values) -> None:
+        """Insert pairwise-distinct keys that are absent from the table.
+
+        Equivalent to ``for k0, k1, v in zip(...): self[(k0, k1)] = v``
+        under those preconditions, including the occupancy-triggered
+        rebuild; runs the scalar loop in list mode (no NumPy) or for
+        small batches.
+        """
+        count = len(values)
+        if count == 0:
+            return
+        if not HAVE_NUMPY or count < _BULK_MIN:
+            for k0, k1, value in zip(key0, key1, values):
+                self[(int(k0), int(k1))] = int(value)
+            return
+        if 2 * (self._used + count) > self._mask:
+            self._rebuild(self._target_capacity(self._size + count))
+        self._place_bulk(
+            _np.ascontiguousarray(key0, dtype=_np.int64),
+            _np.ascontiguousarray(key1, dtype=_np.int64),
+            _np.ascontiguousarray(values, dtype=_np.int64),
+        )
+        self._size += count
+
+    @classmethod
+    def build_bulk(cls, key0, key1, values) -> "FlatStrash":
+        """A fresh pre-sized table holding the given distinct keys."""
+        table = cls(cls._target_capacity(len(values)))
+        table.insert_bulk(key0, key1, values)
+        return table
+
+    def _probe_bulk(self, key0, key1):
+        """Vectorized :meth:`_find` over key arrays (NumPy mode only).
+
+        Returns ``(slots, found)`` int64 arrays: the live-match slot
+        and its value per key, both ``-1`` where the key is absent.
+        Tombstones are skipped exactly like the scalar probe (their
+        stale key bytes never match because the value is negative).
+        """
+        table_k0 = _np.frombuffer(self._key0, dtype=_np.int64)
+        table_k1 = _np.frombuffer(self._key1, dtype=_np.int64)
+        table_v = _np.frombuffer(self._value, dtype=_np.int64)
+        mask = self._mask
+        count = key0.shape[0]
+        slots = _np.full(count, -1, dtype=_np.int64)
+        found = _np.full(count, -1, dtype=_np.int64)
+        slot = (_hash_pairs(key0, key1) & _np.uint64(mask)).astype(
+            _np.int64
+        )
+        pending = _np.arange(count, dtype=_np.int64)
+        while pending.size:
+            value = table_v[slot]
+            match = (
+                (value >= 0)
+                & (table_k0[slot] == key0[pending])
+                & (table_k1[slot] == key1[pending])
+            )
+            done = match | (value == _EMPTY)
+            if done.any():
+                hits = match[done]
+                keys_done = pending[done]
+                slots[keys_done[hits]] = slot[done][hits]
+                found[keys_done[hits]] = value[done][hits]
+                keep = ~done
+                pending = pending[keep]
+                slot = slot[keep]
+            slot = (slot + 1) & mask
+        return slots, found
 
     def reserve(self, entries: int) -> None:
         """Pre-size the table for ``entries`` live keys."""
         cap = self._target_capacity(entries)
         if cap > self._mask + 1:
             self._rebuild(cap)
+
+    def load_factor(self) -> float:
+        """Live entries over slots (post-``reserve`` builds stay <=1/4)."""
+        return self._size / (self._mask + 1)
+
+    def stats(self) -> dict[str, float]:
+        """Sizing counters for the scale lane and observe gauges."""
+        return {
+            "entries": self._size,
+            "slots": self._mask + 1,
+            "used": self._used,
+            "load_factor": self.load_factor(),
+            "rehashes": self.rehashes,
+        }
 
     def copy(self) -> "FlatStrash":
         new = FlatStrash.__new__(FlatStrash)
@@ -310,4 +536,5 @@ class FlatStrash:
         new._mask = self._mask
         new._size = self._size
         new._used = self._used
+        new.rehashes = self.rehashes
         return new

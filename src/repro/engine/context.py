@@ -55,6 +55,72 @@ from repro.aig.literals import lit_var
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.aig.aig import Aig
 
+#: Minimum appended-row count before an in-place extend switches from
+#: the scalar loop to the vectorized tail fill.  Wall-clock heuristic
+#: only — both paths write identical values; bulk graph producers
+#: (``add_and_batch``, the enlarge fast path) append tails in the
+#: hundreds of thousands, where the scalar loop dominates pass entry.
+_VEC_EXTEND_MIN = 1024
+
+#: Wave cap for the vectorized level fill, mirroring
+#: ``traversal._VEC_MAX_WAVES``: a deeper-than-wide tail degrades to
+#: one wave per level, where the scalar loop is faster anyway.
+_VEC_MAX_WAVES = 96
+
+
+def _levels_tail_vec(aig: "Aig", col, size: int, num: int) -> bool:
+    """Wave-front fill of ``levels[size:num]``; False falls back.
+
+    Rows below ``size`` are final (a level depends only on earlier
+    ids), so each wave settles every tail AND whose fanins are
+    settled.  Returns ``False`` — leaving the scalar loop to redo the
+    whole tail, which is idempotent — when the tail is deeper than
+    :data:`_VEC_MAX_WAVES`.
+    """
+    import numpy as np
+
+    fan0, fan1, dead = aig.arrays()
+    levels = col.nparray()
+    live = (fan0[size:num] >= 0) & ~dead[size:num]
+    active = np.flatnonzero(live) + size
+    if not active.size:
+        return True  # dead/PI tail rows keep their zero fill
+    var0 = fan0[active] >> 1
+    var1 = fan1[active] >> 1
+    settled = np.empty(num, dtype=bool)
+    settled[:size] = True
+    settled[size:num] = ~live
+    waves = 0
+    while active.size:
+        waves += 1
+        if waves > _VEC_MAX_WAVES:
+            return False
+        ready = settled[var0] & settled[var1]
+        if not ready.any():  # pragma: no cover - malformed graph
+            return False
+        wave = active[ready]
+        levels[wave] = (
+            np.maximum(levels[var0[ready]], levels[var1[ready]]) + 1
+        )
+        settled[wave] = True
+        keep = ~ready
+        active = active[keep]
+        var0 = var0[keep]
+        var1 = var1[keep]
+    return True
+
+
+def _nref_tail_vec(aig: "Aig", col, size: int, num: int) -> None:
+    """Add the tail rows' fanin references to the count column."""
+    import numpy as np
+
+    fan0, fan1, dead = aig.arrays()
+    live = (fan0[size:num] >= 0) & ~dead[size:num]
+    rows = np.flatnonzero(live) + size
+    fanin_vars = np.concatenate((fan0[rows] >> 1, fan1[rows] >> 1))
+    counts = col.nparray()
+    counts += np.bincount(fanin_vars, minlength=num)
+
 
 class GraphContext:
     """Memoized derived state of one :class:`~repro.aig.aig.Aig`."""
@@ -128,18 +194,24 @@ class GraphContext:
                 col.adopt_copy(cached[1])
             num = aig.num_vars
             col.extend_zeros(num - size)
-            values = col.view
-            fan0 = aig._fanin0
-            fan1 = aig._fanin1
-            dead = aig._dead
-            for var in range(size, num):
-                f0 = fan0[var]
-                if f0 < 0 or dead[var]:
-                    values[var] = 0
-                    continue
-                l0 = values[f0 >> 1]
-                l1 = values[fan1[var] >> 1]
-                values[var] = (l0 if l0 >= l1 else l1) + 1
+            vectorized = (
+                col.numpy
+                and num - size >= _VEC_EXTEND_MIN
+                and _levels_tail_vec(aig, col, size, num)
+            )
+            if not vectorized:
+                values = col.view
+                fan0 = aig._fanin0
+                fan1 = aig._fanin1
+                dead = aig._dead
+                for var in range(size, num):
+                    f0 = fan0[var]
+                    if f0 < 0 or dead[var]:
+                        values[var] = 0
+                        continue
+                    l0 = values[f0 >> 1]
+                    l1 = values[fan1[var] >> 1]
+                    values[var] = (l0 if l0 >= l1 else l1) + 1
             levels = col.slice()
             self._levels = (key, levels)
             self._extend()
@@ -189,15 +261,18 @@ class GraphContext:
                 col.adopt_copy(cached[1])
             num = aig.num_vars
             col.extend_zeros(num - size)
-            values = col.view
-            fan0 = aig._fanin0
-            fan1 = aig._fanin1
-            dead = aig._dead
-            for var in range(size, num):
-                if fan0[var] < 0 or dead[var]:
-                    continue
-                values[fan0[var] >> 1] += 1
-                values[fan1[var] >> 1] += 1
+            if col.numpy and num - size >= _VEC_EXTEND_MIN:
+                _nref_tail_vec(aig, col, size, num)
+            else:
+                values = col.view
+                fan0 = aig._fanin0
+                fan1 = aig._fanin1
+                dead = aig._dead
+                for var in range(size, num):
+                    if fan0[var] < 0 or dead[var]:
+                        continue
+                    values[fan0[var] >> 1] += 1
+                    values[fan1[var] >> 1] += 1
             aig._ref_version += 1
             counts = col.slice()
             self._fanout_counts = (key, counts)
@@ -272,9 +347,22 @@ class GraphContext:
             # Append-only growth: live ANDs keep their relative order;
             # scan only the ids appended since the cached snapshot.
             order = cached[2]
-            for var in range(cached[1], aig.num_vars):
-                if aig._fanin0[var] >= 0 and not aig._dead[var]:
-                    order.append(var)
+            start = cached[1]
+            if (
+                aig._f0c.numpy
+                and aig.num_vars - start >= _VEC_EXTEND_MIN
+            ):
+                import numpy as np
+
+                fan0, _, dead = aig.arrays()
+                live = (fan0[start:] >= 0) & ~dead[start:]
+                order.extend(
+                    (np.flatnonzero(live) + start).tolist()
+                )
+            else:
+                for var in range(start, aig.num_vars):
+                    if aig._fanin0[var] >= 0 and not aig._dead[var]:
+                        order.append(var)
             self._topo = (key, aig.num_vars, order)
             self._extend()
             return order

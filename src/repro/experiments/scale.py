@@ -70,6 +70,9 @@ def run_scale_point(
     build_start = time.perf_counter()
     aig = load_benchmark(base, scale)
     build_wall = time.perf_counter() - build_start
+    # Strash sizing comes straight off the built graph's table (the
+    # build runs before observe.enable(), so counters would miss it).
+    strash = aig._strash.stats()
     point: dict = {
         "base": base,
         "scale": scale,
@@ -82,8 +85,15 @@ def run_scale_point(
         "levels": traversal.aig_depth(aig),
         "build_wall_s": build_wall,
         "build_peak_rss_mb": peak_rss_mb(),
+        "build_ands_per_sec": (
+            aig.num_ands / build_wall if build_wall > 0 else 0.0
+        ),
+        "strash_load_factor": strash["load_factor"],
+        "strash_rehashes": strash["rehashes"],
     }
     observe.enable()
+    observe.gauge("strash.load_factor", strash["load_factor"])
+    observe.count("strash.rehashes", int(strash["rehashes"]))
     machine = ParallelMachine()
     meter = SeqMeter()
     run_start = time.perf_counter()
@@ -133,11 +143,14 @@ def scale_main(
     argv: list[str] | None = None,
     bench: str = "fig7_scaling",
     default_script: str = "b",
+    default_max_rss_mb: float = 0.0,
 ) -> int:
     """Shared CLI for the scale-mode bench drivers.
 
     Exit status: 0 on success, 1 when the built benchmark misses
     ``--min-nodes`` or the run exceeds the ``--max-rss-mb`` ceiling.
+    ``default_max_rss_mb`` lets a driver with a documented higher
+    memory floor (``bench_fig8_breakdown``) ship its own ceiling.
     """
     parser = argparse.ArgumentParser(
         prog=f"bench_{bench} --scale",
@@ -166,7 +179,7 @@ def scale_main(
         help="fail unless the built AIG has at least this many ANDs",
     )
     parser.add_argument(
-        "--max-rss-mb", type=float, default=0.0,
+        "--max-rss-mb", type=float, default=default_max_rss_mb,
         help="fail if peak RSS exceeds this many MiB (0: no ceiling)",
     )
     parser.add_argument(
@@ -198,7 +211,10 @@ def scale_main(
     )
     print(
         f"  build {point['build_wall_s']:.2f}s "
-        f"(peak RSS {point['build_peak_rss_mb']:.0f} MiB)"
+        f"({point['build_ands_per_sec']:,.0f} ANDs/s, "
+        f"strash load {point['strash_load_factor']:.2f} / "
+        f"{point['strash_rehashes']} rehashes, "
+        f"peak RSS {point['build_peak_rss_mb']:.0f} MiB)"
     )
     print(
         f"  {args.script} [{args.engine}] {point['run_wall_s']:.2f}s "

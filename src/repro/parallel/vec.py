@@ -118,7 +118,7 @@ def probe_sim(
     return hit, slot, probes
 
 
-def _group_keys(
+def group_keys(
     key0: np.ndarray, key1: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Group a chunk by key; duplicates fold onto their first occurrence.
@@ -128,6 +128,8 @@ def _group_keys(
     representative), and the representative item indices themselves.
     ``reps`` is ascending — position within it is batch order, which
     :meth:`VecHashTable._stable_place` uses as the placement priority.
+    Shared with :meth:`repro.aig.aig.Aig.add_and_batch`, whose strash
+    probe dedups batch keys the same way.
     """
     n = key0.shape[0]
     order = np.lexsort((np.arange(n), key1, key0))
@@ -324,7 +326,7 @@ class VecHashTable(HashTable):
             ck0 = key0[start:stop]
             ck1 = key1[start:stop]
             cvals = vals[start:stop]
-            _, rep_pos, reps = _group_keys(ck0, ck1)
+            _, rep_pos, reps = group_keys(ck0, ck1)
             hit, slot, path = self._stable_place(
                 ck0[reps], ck1[reps], cvals[reps]
             )
@@ -399,7 +401,7 @@ class VecHashTable(HashTable):
             ck0 = key0[start:stop]
             ck1 = key1[start:stop]
             cvals = vals[start:stop]
-            order, rep_pos, reps = _group_keys(ck0, ck1)
+            order, rep_pos, reps = group_keys(ck0, ck1)
             hit, slot, path = self._stable_place(
                 ck0[reps], ck1[reps], cvals[reps]
             )
@@ -540,7 +542,7 @@ def _goc_chunk(table, key0, key1, alloc):
     freshly created node).
     """
     m = key0.shape[0]
-    _, rep_pos, reps = _group_keys(key0, key1)
+    _, rep_pos, reps = group_keys(key0, key1)
     sentinels = -(np.arange(reps.shape[0], dtype=np.int64) + 2)
     hit, slot, path = table._stable_place(key0[reps], key1[reps], sentinels)
     miss = ~hit
