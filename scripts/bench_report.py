@@ -26,11 +26,13 @@ The script also reads ``repro.bench-scale/1`` documents (the
 bench-scale lane of ``repro.experiments.scale``).  Those are
 single-run measurements, not baseline comparisons: each point's
 construction throughput, strash load factor/rehashes and peak RSS
-are printed, and ``--min-build-rate`` gates the build throughput
-(the bulk-construction win this lane exists to protect)::
+are printed; ``--min-build-rate`` gates the build throughput (the
+bulk-construction win this lane exists to protect) and
+``--min-run-rate`` gates the script throughput (the column-native
+pass-kernel win)::
 
     python scripts/bench_report.py BENCH_SCALE.json \
-        --min-build-rate 650000
+        --min-build-rate 650000 --min-run-rate 150000
 """
 
 from __future__ import annotations
@@ -48,13 +50,16 @@ SCALE_FORMAT = "repro.bench-scale/1"
 
 
 def scale_report(
-    document: dict[str, Any], min_build_rate: float = 0.0
+    document: dict[str, Any],
+    min_build_rate: float = 0.0,
+    min_run_rate: float = 0.0,
 ) -> tuple[list[str], list[str]]:
-    """Summarize a bench-scale document; gate build throughput.
+    """Summarize a bench-scale document; gate build/run throughput.
 
     Returns ``(failures, lines)``: gate violations and the per-point
-    report lines.  ``min_build_rate`` is in ANDs built per second of
-    wall clock (0 disables the gate).
+    report lines.  ``min_build_rate`` gates construction throughput,
+    ``min_run_rate`` gates script throughput (the column-native pass
+    kernels); both are ANDs per second of wall clock, 0 disables.
     """
     failures: list[str] = []
     lines: list[str] = []
@@ -64,18 +69,33 @@ def scale_report(
             f"[{point['script']}/{point['engine']}]"
         )
         rate = point.get("build_ands_per_sec", 0.0)
+        run_rate = point.get("run_ands_per_sec", 0.0)
         lines.append(
             f"{label}: {point['nodes']} ANDs, build "
             f"{point['build_wall_s']:.2f}s ({rate:,.0f} ANDs/s), "
             f"strash load {point.get('strash_load_factor', 0.0):.2f} "
             f"/ {point.get('strash_rehashes', 0)} rehashes, run "
-            f"{point['run_wall_s']:.2f}s, peak RSS "
-            f"{point['peak_rss_mb']:.0f} MiB"
+            f"{point['run_wall_s']:.2f}s ({run_rate:,.0f} ANDs/s), "
+            f"peak RSS {point['peak_rss_mb']:.0f} MiB"
         )
+        shares = point.get("pass_wall_shares") or {}
+        if shares:
+            breakdown = ", ".join(
+                f"{command} {share * 100:.0f}%"
+                for command, share in sorted(
+                    shares.items(), key=lambda item: -item[1]
+                )
+            )
+            lines.append(f"{label}: pass wall shares: {breakdown}")
         if min_build_rate and rate < min_build_rate:
             failures.append(
                 f"{label}: build rate {rate:,.0f} ANDs/s < "
                 f"--min-build-rate {min_build_rate:,.0f}"
+            )
+        if min_run_rate and run_rate < min_run_rate:
+            failures.append(
+                f"{label}: run rate {run_rate:,.0f} ANDs/s < "
+                f"--min-run-rate {min_run_rate:,.0f}"
             )
     if not lines:
         failures.append("bench-scale document contains no points")
@@ -178,13 +198,20 @@ def main(argv: list[str] | None = None) -> int:
         help="bench-scale documents only: fail when construction "
         "throughput drops below this many ANDs/s (0: no gate)",
     )
+    parser.add_argument(
+        "--min-run-rate", type=float, default=0.0,
+        help="bench-scale documents only: fail when script "
+        "throughput drops below this many ANDs/s (0: no gate)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.current, encoding="ascii") as handle:
         current = json.load(handle)
     if current.get("format") == SCALE_FORMAT:
         failures, lines = scale_report(
-            current, min_build_rate=args.min_build_rate
+            current,
+            min_build_rate=args.min_build_rate,
+            min_run_rate=args.min_run_rate,
         )
         for message in lines:
             print(f"POINT {message}")
@@ -193,7 +220,8 @@ def main(argv: list[str] | None = None) -> int:
         if failures:
             print(f"scale gate: FAILED ({len(failures)} failure(s))")
             return 1
-        print(f"scale gate: ok ({len(lines)} point(s))")
+        points = len(current.get("points", []))
+        print(f"scale gate: ok ({points} point(s))")
         return 0
     with open(args.baseline, encoding="ascii") as handle:
         baseline = json.load(handle)

@@ -344,6 +344,97 @@ class Aig:
         self._live_ands += 1
         return make_lit(var)
 
+    def add_raw_and_batch(self, lits0, lits1):
+        """Vectorized :meth:`add_raw_and` over parallel literal arrays.
+
+        Bit-identical to ``[self.add_raw_and(a, b) for a, b in
+        zip(lits0, lits1)]`` — same fanin canonicalization, same
+        variable numbering — except that validation runs up front, so
+        a bad literal raises before any node is created.  Returns an
+        int64 ndarray of result literals (a list from the list-mode
+        scalar fallback).
+        """
+        count = len(lits0)
+        if len(lits1) != count:
+            raise ValueError("literal arrays differ in length")
+        if not store.HAVE_NUMPY or not self._f0c.numpy:
+            return [
+                self.add_raw_and(a, b) for a, b in zip(lits0, lits1)
+            ]
+        import numpy as np
+
+        arr0 = np.ascontiguousarray(lits0, dtype=np.int64)
+        arr1 = np.ascontiguousarray(lits1, dtype=np.int64)
+        size = self._f0c.size
+        bad0 = (arr0 < 0) | ((arr0 >> 1) >= size)
+        bad1 = (arr1 < 0) | ((arr1 >> 1) >= size)
+        if bad0.any() or bad1.any():
+            index = int(np.flatnonzero(bad0 | bad1)[0])
+            lit = int(arr0[index]) if bad0[index] else int(arr1[index])
+            raise ValueError(
+                f"literal {lit} references an unknown variable"
+            )
+        self._version += count
+        self._f0c.extend_array(np.minimum(arr0, arr1))
+        self._f1c.extend_array(np.maximum(arr0, arr1))
+        self._deadc.extend_zeros(count)
+        self._live_ands += count
+        return (np.arange(size, size + count, dtype=np.int64) << 1)
+
+    def add_pi_batch(self, count: int):
+        """Create ``count`` unnamed primary inputs at once.
+
+        Bit-identical to calling :meth:`add_pi` ``count`` times with no
+        name; returns an int64 ndarray of the new PI literals (a list
+        from the list-mode scalar fallback).
+        """
+        if not store.HAVE_NUMPY or not self._f0c.numpy:
+            return [self.add_pi() for _ in range(count)]
+        import numpy as np
+
+        size = self._f0c.size
+        self._version += count
+        fill = np.full(count, PI_FANIN, dtype=np.int64)
+        self._f0c.extend_array(fill)
+        self._f1c.extend_array(fill)
+        self._deadc.extend_zeros(count)
+        variables = np.arange(size, size + count, dtype=np.int64)
+        self._pic.extend_array(variables)
+        self._pi_names.extend([None] * count)
+        return variables << 1
+
+    def add_po_batch(self, lits, names=None) -> None:
+        """Register a batch of primary outputs in order.
+
+        Bit-identical to calling :meth:`add_po` per literal (with the
+        matching name from ``names``, or no name).  Validation runs up
+        front, so a bad literal raises before any PO is registered.
+        """
+        count = len(lits)
+        if names is not None and len(names) != count:
+            raise ValueError("literal/name arrays differ in length")
+        if not store.HAVE_NUMPY or not self._poc.numpy:
+            for index, lit in enumerate(lits):
+                self.add_po(
+                    lit, None if names is None else names[index]
+                )
+            return
+        import numpy as np
+
+        arr = np.ascontiguousarray(lits, dtype=np.int64)
+        size = self._f0c.size
+        bad = (arr < 0) | ((arr >> 1) >= size)
+        if bad.any():
+            lit = int(arr[int(np.flatnonzero(bad)[0])])
+            raise ValueError(
+                f"literal {lit} references an unknown variable"
+            )
+        self._po_version += count
+        self._poc.extend_array(arr)
+        self._po_names.extend(
+            [None] * count if names is None else list(names)
+        )
+
     def find_and(self, lit0: int, lit1: int) -> int | None:
         """Literal of an existing AND with these fanins, or None."""
         key = lit_pair_key(lit0, lit1)
@@ -462,6 +553,22 @@ class Aig:
 
         f0, _, dead = self.arrays()
         return np.flatnonzero((f0 >= 0) & ~dead)
+
+    def pi_array(self):
+        """PI variable ids as an int64 ndarray (read-only snapshot)."""
+        if self._pic.numpy:
+            return self._pic.nparray()
+        import numpy as np
+
+        return np.array(self._pic.data, dtype=np.int64)
+
+    def po_array(self):
+        """PO literals as an int64 ndarray (read-only snapshot)."""
+        if self._poc.numpy:
+            return self._poc.nparray()
+        import numpy as np
+
+        return np.array(self._poc.data, dtype=np.int64)
 
     def arrays(self) -> tuple:
         """Zero-copy NumPy views ``(fanin0, fanin1, dead)`` of the graph.

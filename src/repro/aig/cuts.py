@@ -60,6 +60,7 @@ def reconv_cut(
     root: int,
     max_cut_size: int,
     expandable: Callable[[int, set[int]], bool] | None = None,
+    on_expand: Callable[[int], None] | None = None,
 ) -> CutResult:
     """Grow a reconvergence-driven cut of ``root`` best-first.
 
@@ -76,10 +77,18 @@ def reconv_cut(
         here (all fanouts of ``var`` already inside ``cone``); without
         it the plain reconvergence-driven cut of sequential refactoring
         is produced.
+    on_expand:
+        Optional callback invoked once per cone member, right after it
+        joins the cone (the root included, before the first expansion
+        round).  The column-native collapse keeps its incremental
+        read-count bookkeeping here so ``expandable`` becomes an O(1)
+        comparison instead of a fanout-list walk.
     """
     if max_cut_size < 2:
         raise ValueError("max_cut_size must be at least 2")
     cone: set[int] = {root}
+    if on_expand is not None:
+        on_expand(root)
     leaves: set[int] = set()
     for fanin in aig.fanins(root):
         leaves.add(lit_var(fanin))
@@ -105,6 +114,8 @@ def reconv_cut(
             break
         leaves.discard(best_var)
         cone.add(best_var)
+        if on_expand is not None:
+            on_expand(best_var)
         for fanin in aig.fanins(best_var):
             fvar = lit_var(fanin)
             if fvar not in cone:

@@ -13,20 +13,29 @@ implementation.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.aig.aig import Aig
 from repro.aig.literals import lit_var
 from repro.aig.traversal import fanout_counts
 
+#: Mutable reference-count storage accepted by every walk here: a plain
+#: list or a graph-owned NumPy column (the int64 ndarray from
+#: ``GraphContext.fanout_counts_array`` or the column's memoryview
+#: scalar twin) — anything indexable with in-place integer updates.
+#: Walks mutate counts element-wise, so nothing is copied into a list.
+RefCounts = list[int] | np.ndarray | memoryview
 
-def mffc_nodes(aig: Aig, root: int, nref: list[int] | None = None) -> set[int]:
+
+def mffc_nodes(aig: Aig, root: int, nref: RefCounts | None = None) -> set[int]:
     """AND variables in the MFFC of ``root`` (the root included).
 
     Parameters
     ----------
     nref:
         Current reference (fanout) counts; computed fresh when omitted.
-        The array is modified during the walk and restored before
-        returning, so callers may share one array across many queries.
+        The storage is modified during the walk and restored before
+        returning, so callers may share one buffer across many queries.
     """
     if not aig.is_and(root):
         raise ValueError(f"MFFC is defined for AND nodes, got var {root}")
@@ -37,12 +46,12 @@ def mffc_nodes(aig: Aig, root: int, nref: list[int] | None = None) -> set[int]:
     return cone
 
 
-def mffc_size(aig: Aig, root: int, nref: list[int] | None = None) -> int:
+def mffc_size(aig: Aig, root: int, nref: RefCounts | None = None) -> int:
     """Number of AND nodes in the MFFC of ``root``."""
     return len(mffc_nodes(aig, root, nref))
 
 
-def _deref(aig: Aig, root: int, nref: list[int]) -> set[int]:
+def _deref(aig: Aig, root: int, nref: RefCounts) -> set[int]:
     """Dereference the cone below ``root``; returns the collected MFFC."""
     cone: set[int] = set()
     stack = [root]
@@ -59,14 +68,14 @@ def _deref(aig: Aig, root: int, nref: list[int]) -> set[int]:
     return cone
 
 
-def _ref(aig: Aig, root: int, nref: list[int], cone: set[int]) -> None:
+def _ref(aig: Aig, root: int, nref: RefCounts, cone: set[int]) -> None:
     """Undo :func:`_deref` for the exact node set it collected."""
     for var in cone:
         for fanin in aig.fanins(var):
             nref[lit_var(fanin)] += 1
 
 
-def deref_mffc(aig: Aig, root: int, nref: list[int]) -> set[int]:
+def deref_mffc(aig: Aig, root: int, nref: RefCounts) -> set[int]:
     """Dereference the MFFC of ``root`` *without* restoring counts.
 
     Used by in-place replacement: after dereferencing, the returned
@@ -77,6 +86,6 @@ def deref_mffc(aig: Aig, root: int, nref: list[int]) -> set[int]:
     return _deref(aig, root, nref)
 
 
-def ref_cone(aig: Aig, root: int, nref: list[int], cone: set[int]) -> None:
+def ref_cone(aig: Aig, root: int, nref: RefCounts, cone: set[int]) -> None:
     """Re-reference a cone previously removed by :func:`deref_mffc`."""
     _ref(aig, root, nref, cone)

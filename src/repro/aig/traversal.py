@@ -106,17 +106,33 @@ def fanout_counts(aig: Aig) -> list[int]:
     reference counting; this is the count MFFC dereferencing relies on.
     """
     if backend.use_numpy() and aig.num_vars >= _VEC_MIN_NODES:
-        import numpy as np
+        return fanout_counts_array(aig).tolist()
+    return _fanout_counts_scalar(aig)
 
+
+def fanout_counts_array(aig: Aig):
+    """:func:`fanout_counts` as an int64 ndarray — no list round-trip.
+
+    The column-native kernels and the NumPy-mode derived-state cache
+    consume this directly; on the Python backend it wraps the scalar
+    scan.
+    """
+    import numpy as np
+
+    if backend.use_numpy():
         f0, f1, dead = aig.arrays()
         live = (f0 >= 0) & ~dead
         counts = np.bincount(
             np.concatenate((f0[live] >> 1, f1[live] >> 1)),
             minlength=aig.num_vars,
-        )
+        ).astype(np.int64, copy=False)
         for lit in aig.pos:
             counts[lit >> 1] += 1
-        return counts.tolist()
+        return counts
+    return np.asarray(_fanout_counts_scalar(aig), dtype=np.int64)
+
+
+def _fanout_counts_scalar(aig: Aig) -> list[int]:
     counts = [0] * aig.num_vars
     fan0 = aig._fanin0
     fan1 = aig._fanin1

@@ -16,9 +16,10 @@ from dataclasses import dataclass, field
 
 from repro.aig.aig import Aig
 from repro.aig.literals import lit_compl, lit_not_cond
+from repro.aig.mffc import RefCounts
 from repro.engine.context import resolved_fanout_counts
 
-__all__ = ["AliasView", "PassResult", "resolved_fanout_counts"]
+__all__ = ["AliasView", "PassResult", "RefCounts", "resolved_fanout_counts"]
 
 
 class AliasView:

@@ -26,6 +26,7 @@ import random
 from repro import observe
 from repro.aig.aig import Aig
 from repro.aig.literals import lit_compl, lit_not_cond, lit_var
+from repro.algorithms import kernels
 from repro.algorithms.common import PassResult
 from repro.algorithms.seq_balance import (
     BALANCE_WORK_SCALE,
@@ -64,19 +65,36 @@ def par_balance(
     nodes_before = aig.num_ands
     levels_before = context_for(aig).depth()
 
-    with observe.span("b.collapse", "stage"):
-        clusters, inputs_of = _collapse(aig, machine)
-    observe.count("b.clusters_collapsed", len(clusters))
-    with observe.span("b.reconstruct", "stage"):
-        new, lit_map = _reconstruct(
-            aig, clusters, inputs_of, machine, order_rng=order_rng
-        )
-
-    for index, po_lit in enumerate(aig.pos):
-        mapped, _ = lit_map[lit_var(po_lit)]
-        new.add_po(
-            lit_not_cond(mapped, lit_compl(po_lit)), aig.po_name(index)
-        )
+    # Column-native fast path: same stages, same launches, same result
+    # (docs/ARCHITECTURE.md, "Column-native passes").  The scalar code
+    # below stays the semantic reference; ``order_rng`` exercises the
+    # Property-3 order-invariance and always takes it.
+    use_kernels = order_rng is None and kernels.enabled_for(aig)
+    if use_kernels:
+        with observe.span("b.collapse", "stage"):
+            plan = kernels.balance_collapse(aig, machine)
+        num_clusters = plan.num_roots
+        observe.count("b.clusters_collapsed", num_clusters)
+        with observe.span("b.reconstruct", "stage"):
+            new, mapped = kernels.balance_reconstruct(
+                aig, plan, machine
+            )
+        kernels.balance_finalize_pos(aig, new, mapped)
+    else:
+        with observe.span("b.collapse", "stage"):
+            clusters, inputs_of = _collapse(aig, machine)
+        num_clusters = len(clusters)
+        observe.count("b.clusters_collapsed", num_clusters)
+        with observe.span("b.reconstruct", "stage"):
+            new, lit_map = _reconstruct(
+                aig, clusters, inputs_of, machine, order_rng=order_rng
+            )
+        for index, po_lit in enumerate(aig.pos):
+            mapped_lit, _ = lit_map[lit_var(po_lit)]
+            new.add_po(
+                lit_not_cond(mapped_lit, lit_compl(po_lit)),
+                aig.po_name(index),
+            )
     machine.host("b.finalize", aig.num_pos)
     result, _ = new.compact()
     return PassResult(
@@ -85,7 +103,7 @@ def par_balance(
         result.num_ands,
         levels_before,
         context_for(result).depth(),
-        details={"clusters": len(clusters)},
+        details={"clusters": num_clusters},
     )
 
 

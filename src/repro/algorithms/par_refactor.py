@@ -30,8 +30,9 @@ from __future__ import annotations
 
 from repro import observe
 from repro.aig.aig import Aig
-from repro.aig.cuts import CutResult, reconv_cut
+from repro.aig.cuts import _PAIR_TABLES, CutResult, reconv_cut
 from repro.aig.literals import lit_compl, lit_not_cond, lit_var, make_lit
+from repro.algorithms import kernels
 from repro.algorithms.common import PassResult
 from repro.algorithms.dedup import dedup_and_dangling
 from repro.engine.context import clone_with_context, context_for
@@ -165,19 +166,49 @@ def collapse_into_ffcs(
     says they cannot.
     """
     context = context_for(aig)
-    fanouts = context.fanout_lists()
     drives_po = context.po_fanout_mask()
+    use_kernels = kernels.enabled_for(aig)
+    on_expand = None
+    if use_kernels:
+        # Column-native FFC test (docs/ARCHITECTURE.md, "Column-native
+        # passes"): instead of walking a Python fanout-adjacency per
+        # candidate, count how many of a variable's readers have joined
+        # the current cone (``reads``, maintained by the ``on_expand``
+        # hook of :func:`~repro.aig.cuts.reconv_cut`) and compare with
+        # its total reader count.  Every reader in the cone and every
+        # cone member's read deduplicate double edges identically, so
+        # the predicate decides exactly like the scalar list walk.
+        # Hot path: index via a plain list and the memoryview scalar
+        # twins — per-element ndarray indexing would dominate the walk.
+        degrees = context.fanout_degrees().tolist()
+        fan0_view = aig._f0c.view
+        fan1_view = aig._f1c.view
+        reads: dict[int, int] = {}
+
+        def expandable(var: int, cone: set[int]) -> bool:
+            return not drives_po[var] and reads.get(var, 0) == degrees[var]
+
+        def on_expand(member: int) -> None:
+            v0 = fan0_view[member] >> 1
+            v1 = fan1_view[member] >> 1
+            reads[v0] = reads.get(v0, 0) + 1
+            if v1 != v0:
+                reads[v1] = reads.get(v1, 0) + 1
+
+    else:
+        fanouts = context.fanout_lists()
+
+        def expandable(var: int, cone: set[int]) -> bool:
+            if drives_po[var]:
+                return False
+            for reader in fanouts[var]:
+                if reader not in cone:
+                    return False
+            return True
+
     machine.launch_batch(
         "rf.fanout_index", backend.const_profile(1, max(aig.num_vars, 1))
     )
-
-    def expandable(var: int, cone: set[int]) -> bool:
-        if drives_po[var]:
-            return False
-        for reader in fanouts[var]:
-            if reader not in cone:
-                return False
-        return True
 
     limit = max_cut_size if early_stop else aig.num_vars + 2
     owner: dict[int, int] = {}
@@ -199,7 +230,12 @@ def collapse_into_ffcs(
         works = []
         candidates: list[int] = []
         for root in frontier:
-            cut = reconv_cut(aig, root, limit, expandable=expandable)
+            if on_expand is not None:
+                reads.clear()  # read counts are per-cone state
+            cut = reconv_cut(
+                aig, root, limit,
+                expandable=expandable, on_expand=on_expand,
+            )
             if mutations.armed and mutations.active("rf-overlap-cones"):
                 if owner:
                     cut.cone.add(next(iter(owner)))
@@ -226,6 +262,8 @@ def collapse_into_ffcs(
             "rf.gather_frontier",
             backend.const_profile(1, max(len(candidates), 1)),
         )
+    if use_kernels and observe.enabled:
+        observe.count("kernels.rf_degree_cones", len(cones))
     return cones
 
 
@@ -238,45 +276,79 @@ def _resynthesize(
     aig: Aig, cones: list[ConeJob], machine: ParallelMachine
 ) -> None:
     """Resynthesize every cone; compute the gain lower bound (III-D)."""
-    # ``plan_resynthesis`` is a pure function of (table, leaf count);
-    # the NumPy backend deduplicates the ISOP/factoring work across the
-    # batch — identical plans, works and gains, cheaper wall clock.
-    # (One kernel thread per cone recomputes it on the real GPU, which
-    # is what the charged work units keep modeling.)
-    plan_cache: dict[tuple[int, int], ResynPlan | None] | None = (
-        {} if backend.use_numpy() else None
-    )
+    # ``plan_resynthesis`` is a pure function of (table, leaf count),
+    # and the template AIG a pure function of the plan; the NumPy
+    # backend deduplicates the ISOP/factoring work *and* the template
+    # construction across the batch — identical plans, templates,
+    # works and gains, cheaper wall clock.  (One kernel thread per
+    # cone recomputes them on the real GPU, which is what the charged
+    # work units keep modeling.)  Templates are shared read-only:
+    # every downstream stage only traverses them.
+    plan_cache: dict[
+        tuple[int, int], tuple[ResynPlan | None, Aig | None, int]
+    ] | None = ({} if backend.use_numpy() else None)
+    fan0 = aig._fanin0
+    fan1 = aig._fanin1
+
+    def build_template(plan: ResynPlan, num_leaves: int) -> Aig:
+        # Template AIG: the new cone over symbolic leaves, linearized
+        # for one-node-per-round insertion.
+        template = Aig("template")
+        template_pis = [template.add_pi() for _ in range(num_leaves)]
+        root_lit = build_plan(plan, template_pis, template.add_and)
+        template.add_po(root_lit)
+        return template
 
     def process(job: ConeJob) -> tuple[None, int]:
         cut = job.cut
         leaves = sorted(cut.leaves)
-        table = simulate_cone(aig, make_lit(cut.root), leaves)
         tt_work = len(cut.cone) * max(1, (1 << len(leaves)) >> 6)
         if plan_cache is None:
+            table = simulate_cone(aig, make_lit(cut.root), leaves)
             plan = plan_resynthesis(table, len(leaves))
+            if plan is None:
+                # SOP blow-up: cone filtered from replacement.
+                job.gain = None
+                return None, tt_work
+            job.plan = plan
+            job.template = build_template(plan, len(leaves))
+            # New-cone nodes are counted without sharing among new
+            # cones: the lower-bound gain of Section III-D (intra-cone
+            # sharing, which one thread sees locally, is included).
+            job.gain = len(cut.cone) - job.template.num_ands
+            return None, tt_work + plan.work
+        if len(cut.cone) == 1 and len(leaves) == 2:
+            # Single-node cone: the cut is exactly the root's fanin
+            # pair, so its function is one of the eight precomputed
+            # 2-input AND tables (same lookup the composed-table cut
+            # enumeration uses) — no cone simulation needed.
+            f0 = fan0[cut.root]
+            f1 = fan1[cut.root]
+            index = (
+                (((f0 >> 1) > (f1 >> 1)) << 2)
+                | ((f0 & 1) << 1)
+                | (f1 & 1)
+            )
+            table = _PAIR_TABLES[index]
         else:
-            key = (table, len(leaves))
-            if key in plan_cache:
-                plan = plan_cache[key]
+            table = simulate_cone(aig, make_lit(cut.root), leaves)
+        key = (table, len(leaves))
+        hit = plan_cache.get(key)
+        if hit is None:
+            plan = plan_resynthesis(table, len(leaves))
+            if plan is None:
+                hit = (None, None, 0)
             else:
-                plan = plan_cache[key] = plan_resynthesis(
-                    table, len(leaves)
-                )
+                template = build_template(plan, len(leaves))
+                hit = (plan, template, template.num_ands)
+            plan_cache[key] = hit
+        plan, template, template_ands = hit
         if plan is None:
-            job.gain = None  # SOP blow-up: cone filtered from replacement
+            job.gain = None
             return None, tt_work
         job.plan = plan
-        # Template AIG: the new cone over symbolic leaves, linearized
-        # for one-node-per-round insertion.
-        template = Aig("template")
-        template_pis = [template.add_pi() for _ in range(len(leaves))]
-        root_lit = build_plan(plan, template_pis, template.add_and)
-        template.add_po(root_lit)
         job.template = template
-        # New-cone nodes are counted without sharing among new cones:
-        # the lower-bound gain of Section III-D (intra-cone sharing,
-        # which one thread sees locally, is included).
-        job.gain = len(cut.cone) - template.num_ands
+        job.gain = len(cut.cone) - template_ands
         return None, tt_work + plan.work
 
     machine.kernel("rf.resynthesize", cones, process)
@@ -301,10 +373,15 @@ def _semi_sharing_refine(
     replaced_nodes: set[int] = set()
     for job in kept:
         replaced_nodes.update(job.cut.cone)
-    survivor_keys: dict[tuple[int, int], int] = {}
-    for var in aig.and_vars():
-        if var not in replaced_nodes:
-            survivor_keys[aig.fanins(var)] = var
+    if kernels.enabled_for(aig):
+        survivor_keys = kernels.refactor_survivor_keys(
+            aig, replaced_nodes
+        )
+    else:
+        survivor_keys = {}
+        for var in aig.and_vars():
+            if var not in replaced_nodes:
+                survivor_keys[aig.fanins(var)] = var
 
     rejected = [
         job for job in cones if job.gain is not None and job.gain < 0
@@ -456,6 +533,14 @@ def _replace(
     def alloc(key0: int, key1: int) -> int:
         return aig.add_raw_and(key0, key1) >> 1
 
+    # Whole miss chunks allocate through the batch constructor when the
+    # columns support it — same ids in the same order, wall-clock only.
+    alloc_batch = None
+    if backend.use_numpy() and aig._f0c.numpy:
+
+        def alloc_batch(key0, key1):
+            return aig.add_raw_and_batch(key0, key1) >> 1
+
     # Insert the new cones: one node per cone per synchronized round.
     # Each cone walks its template in topological (id) order; template
     # PIs map to the cone's cut nodes in the original id space.
@@ -485,7 +570,9 @@ def _replace(
             active.append((lit_map, t_var))
         if not pairs:
             break
-        literals, probes_list = table.get_or_create_batch(pairs, alloc)
+        literals, probes_list = table.get_or_create_batch(
+            pairs, alloc, alloc_batch
+        )
         for (lit_map, t_var), literal in zip(active, literals):
             lit_map[t_var] = literal
         account("rf.insertion_round", [probes + 1 for probes in probes_list])

@@ -29,6 +29,7 @@ from repro import observe
 from repro.aig.aig import Aig
 from repro.aig.cuts import enumerate_cuts, enumerate_cuts_with_tables
 from repro.aig.literals import lit_var, make_lit
+from repro.algorithms import kernels
 from repro.algorithms.common import (
     AliasView,
     PassResult,
@@ -198,6 +199,9 @@ def _match_stage_vec(
         "rw.cut_enum",
         [len(cuts.get(var, ())) for var in aig.and_vars()],
     )
+    if kernels.enabled_for(aig):
+        return _match_select_batched(aig, machine, min_gain, cuts,
+                                     tables, cones)
     nref = context_for(aig).fanout_counts()  # read-only here
     fan0 = aig._fanin0
     fan1 = aig._fanin1
@@ -257,6 +261,106 @@ def _match_stage_vec(
 
     # Same KernelRecord as the scalar ``machine.kernel`` call — the
     # per-item results are all None there, so only the profile matters.
+    machine.launch("rw.match", works)
+    return candidates
+
+
+def _match_select_batched(
+    aig: Aig,
+    machine: ParallelMachine,
+    min_gain: int,
+    cuts: dict,
+    tables: dict,
+    cones: dict,
+) -> dict[int, tuple]:
+    """Column-native winner selection for the match stage.
+
+    Replaces the per-item Python MFFC walk of ``_match_stage_vec``
+    with one batched decrement-fixpoint sweep
+    (:func:`~repro.algorithms.kernels.rewrite_batched_mffc`).  Every
+    (root, cut) item whose gain bound reaches ``min_gain`` is sized;
+    the scalar loop sizes only items whose bound also beats the
+    incumbent best, but since the true gain never exceeds the bound, a
+    skipped item can never have been a new strict maximum — so taking
+    each root's **earliest strict running maximum** over the batched
+    gains reproduces the scalar winner (and its tie-breaks) exactly.
+    Works, library-match caching and the candidate order are charged
+    and built in the scalar scan order.
+    """
+    nref = context_for(aig).fanout_counts_array()  # read-only here
+    match_cache: dict[tuple[int, int], tuple] = {}
+    works: list[int] = []
+    # Per-root eligible items in scan order:
+    # (cut_list, transform, template, template_ands, bound, cone).
+    per_root: list[tuple[int, list[tuple]]] = []
+
+    for root in aig.and_vars():
+        work = 1
+        eligible: list[tuple] = []
+        for cut, table, cone in zip(cuts[root], tables[root], cones[root]):
+            if len(cut) < 2:
+                continue
+            work += CUT_EVAL_WORK
+            if len(cone) > 64:
+                # The scalar cone walk rejects blown-up cones.
+                continue
+            key = (table, len(cut))
+            hit = match_cache.get(key)
+            if hit is None:
+                transform, template = match_function(table, list(cut))
+                hit = (transform, template, template.num_ands)
+                match_cache[key] = hit
+            transform, template, template_ands = hit
+            bound = len(cone) - template_ands
+            if bound < min_gain:
+                continue
+            eligible.append((cut, transform, template, template_ands,
+                             bound, cone))
+        if eligible:
+            per_root.append((root, eligible))
+        works.append(work)
+
+    # Wave w sizes every root's w-th still-interesting item at once:
+    # per root the items stay in scan order across waves, and the
+    # bound-vs-incumbent prune uses the best settled by wave w - 1 —
+    # exactly the scalar control flow, batched across roots.
+    best: dict[int, tuple] = {}
+    active = per_root
+    wave = 0
+    while active:
+        batch_roots: list[int] = []
+        batch_cones: list = []
+        batch_meta: list[tuple] = []
+        for root, eligible in active:
+            item = eligible[wave]
+            incumbent = best.get(root)
+            if incumbent is not None and item[4] <= incumbent[3]:
+                continue
+            batch_roots.append(root)
+            batch_cones.append(item[5])
+            batch_meta.append((root, item))
+        if batch_roots:
+            if observe.enabled:
+                observe.count("kernels.rw_waves")
+                observe.count("kernels.rw_sized_items", len(batch_roots))
+            sizes = kernels.rewrite_batched_mffc(
+                aig, nref, batch_roots, batch_cones
+            )
+            for (root, item), size in zip(batch_meta, sizes.tolist()):
+                est_gain = size - item[3]
+                incumbent = best.get(root)
+                if incumbent is None or est_gain > incumbent[3]:
+                    best[root] = (list(item[0]), item[1], item[2],
+                                  est_gain)
+        wave += 1
+        active = [entry for entry in active if len(entry[1]) > wave]
+
+    candidates: dict[int, tuple] = {}
+    for root, _ in per_root:
+        winner = best.get(root)
+        if winner is not None and winner[3] >= min_gain:
+            candidates[root] = winner
+
     machine.launch("rw.match", works)
     return candidates
 

@@ -30,6 +30,7 @@ from repro.aig.literals import lit_compl, lit_var, make_lit
 from repro.algorithms.common import (
     AliasView,
     PassResult,
+    RefCounts,
     resolved_fanout_counts,
 )
 from repro.algorithms.dedup import dedup_and_dangling
@@ -302,7 +303,7 @@ def _bind_rs_gpu(invocation: PassInvocation) -> list[PassResult]:
 
 def _commit_resub(
     view: AliasView,
-    nref: list[int],
+    nref: RefCounts,
     root: int,
     cone: set[int],
     match: ResubMatch,

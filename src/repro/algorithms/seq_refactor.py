@@ -24,6 +24,7 @@ from repro.aig.literals import lit_var, make_lit
 from repro.algorithms.common import (
     AliasView,
     PassResult,
+    RefCounts,
     resolved_fanout_counts,
 )
 from repro.engine.context import clone_with_context, context_for
@@ -113,7 +114,7 @@ def _bind_rfz(invocation: PassInvocation) -> list[PassResult]:
 
 def _try_replace(
     view: AliasView,
-    nref: list[int],
+    nref: RefCounts,
     root: int,
     max_cut_size: int,
     min_gain: int,
@@ -173,7 +174,7 @@ def _try_replace(
 
 
 def deref_cone(
-    view: AliasView, root: int, cone: set[int], nref: list[int]
+    view: AliasView, root: int, cone: set[int], nref: RefCounts
 ) -> set[int]:
     """Dereference the MFFC of ``root`` restricted to ``cone``.
 
@@ -199,7 +200,7 @@ def deref_cone(
 
 
 def ref_cone_back(
-    view: AliasView, deleted: set[int], nref: list[int]
+    view: AliasView, deleted: set[int], nref: RefCounts
 ) -> None:
     """Undo :func:`deref_cone` for the exact node set it collected."""
     for var in deleted:

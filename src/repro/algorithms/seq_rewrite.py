@@ -20,6 +20,7 @@ from repro.aig.literals import lit_var, make_lit
 from repro.algorithms.common import (
     AliasView,
     PassResult,
+    RefCounts,
     resolved_fanout_counts,
 )
 from repro.algorithms.rewrite_lib import instantiate_template, match_function
@@ -113,7 +114,7 @@ def _bind_rwz(invocation: PassInvocation) -> list[PassResult]:
 
 def _rewrite_node(
     view: AliasView,
-    nref: list[int],
+    nref: RefCounts,
     root: int,
     cut_list: list[tuple[int, ...]],
     min_gain: int,
@@ -169,7 +170,7 @@ def _rewrite_node(
 
 def _evaluate_cut(
     view: AliasView,
-    nref: list[int],
+    nref: RefCounts,
     root: int,
     cut: tuple[int, ...],
 ):

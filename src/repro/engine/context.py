@@ -130,6 +130,7 @@ class GraphContext:
         "counters",
         "_levels",
         "_fanout_counts",
+        "_fanout_degrees",
         "_fanout_lists",
         "_po_mask",
         "_topo",
@@ -143,6 +144,7 @@ class GraphContext:
         # the value depends on the PO list.
         self._levels: tuple | None = None
         self._fanout_counts: tuple | None = None
+        self._fanout_degrees: tuple | None = None
         self._fanout_lists: tuple | None = None
         self._po_mask: tuple | None = None
         self._topo: tuple | None = None  # (key, num_vars, order)
@@ -279,11 +281,47 @@ class GraphContext:
             self._extend()
             return counts
         self._miss()
-        aig._nrefc.adopt(traversal.fanout_counts(aig))
+        if aig._nrefc.numpy:
+            # Hand the column the ndarray itself — the list round-trip
+            # would copy every count twice.
+            aig._nrefc.adopt(traversal.fanout_counts_array(aig))
+        else:
+            aig._nrefc.adopt(traversal.fanout_counts(aig))
         aig._ref_version += 1
         counts = aig._nrefc.slice()
         self._fanout_counts = (key, counts)
         return counts
+
+    def levels_array(self):
+        """Int64 ndarray view of :meth:`levels` (column-native kernels).
+
+        Fills the cache through :meth:`levels` (same hit/miss counters)
+        and returns the level column's ndarray view — zero-copy when
+        the column is NumPy-backed, a fresh array otherwise.
+        """
+        values = self.levels()
+        col = self.aig._levelc
+        if col.numpy:
+            return col.nparray()
+        import numpy as np
+
+        return np.asarray(list(values), dtype=np.int64)
+
+    def fanout_counts_array(self):
+        """Int64 ndarray view of :meth:`fanout_counts` (kernels).
+
+        Fills the cache through :meth:`fanout_counts` (same hit/miss
+        counters) and returns the refcount column's ndarray view —
+        zero-copy when the column is NumPy-backed.  Callers must treat
+        the view as read-only, exactly like :meth:`fanout_counts`.
+        """
+        values = self.fanout_counts()
+        col = self.aig._nrefc
+        if col.numpy:
+            return col.nparray()
+        import numpy as np
+
+        return np.asarray(list(values), dtype=np.int64)
 
     def fanout_lists(self) -> list[list[int]]:
         """Fanout adjacency, POs excluded (read-only, inner lists too)."""
@@ -317,6 +355,43 @@ class GraphContext:
         fanouts = traversal.fanout_lists(aig)
         self._fanout_lists = (key, fanouts)
         return fanouts
+
+    def fanout_degrees(self):
+        """Per-variable live-AND reader counts (int64 ndarray).
+
+        ``degrees[v] == len(fanout_lists()[v])`` for every variable:
+        POs excluded, a double edge (same node in both fanins) counts
+        once.  The column-native collapse kernel consumes these instead
+        of the Python adjacency lists — same derived state, same cache
+        key, same hit/miss accounting, a bincount sweep instead of
+        per-node list appends.  Read-only, like every derived value.
+        """
+        import numpy as np
+
+        aig = self.aig
+        key = (aig._version, aig._shape_version)
+        cached = self._fanout_degrees
+        if cached is not None and cached[0] == key:
+            self._hit()
+            return cached[1]
+        self._miss()
+        if aig._f0c.numpy:
+            fan0, fan1, dead = aig.arrays()
+            live = (fan0 >= 0) & ~dead
+            v0 = fan0[live] >> 1
+            v1 = fan1[live] >> 1
+            degrees = np.bincount(v0, minlength=aig.num_vars)
+            degrees = degrees + np.bincount(
+                v1[v1 != v0], minlength=aig.num_vars
+            )
+            degrees = degrees.astype(np.int64, copy=False)
+        else:
+            degrees = np.asarray(
+                [len(entry) for entry in traversal.fanout_lists(aig)],
+                dtype=np.int64,
+            )
+        self._fanout_degrees = (key, degrees)
+        return degrees
 
     def po_fanout_mask(self) -> list[bool]:
         """PO driver mask (read-only)."""
@@ -394,6 +469,11 @@ class GraphContext:
             clone._ref_version += 1
             forked._fanout_counts = (
                 self._fanout_counts[0], clone._nrefc.slice()
+            )
+        if self._fanout_degrees is not None:
+            forked._fanout_degrees = (
+                self._fanout_degrees[0],
+                self._fanout_degrees[1].copy(),
             )
         if self._fanout_lists is not None:
             forked._fanout_lists = (

@@ -19,6 +19,7 @@ sanitizer's switch.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -46,6 +47,9 @@ class SequenceResult:
     steps: list[tuple[str, PassResult]] = field(default_factory=list)
     machine: ParallelMachine | None = None
     meter: SeqMeter | None = None
+    #: Wall-clock seconds per executed command, in script order.  Wall
+    #: time only — the modeled clock lives in ``machine``/``meter``.
+    walls: list[tuple[str, float]] = field(default_factory=list)
 
     @property
     def nodes(self) -> int:
@@ -92,6 +96,7 @@ def run_script(
                 with observe.span(
                     command, "pass", engine="seq", index=index
                 ) as pass_span:
+                    wall_start = time.perf_counter()
                     metered_before = meter.time()
                     steps = binder(
                         PassInvocation(
@@ -114,6 +119,9 @@ def run_script(
                         result.aig = step.aig
                         if check:
                             check_invariants(step.aig, require_reachable=True)
+                    result.walls.append(
+                        (command, time.perf_counter() - wall_start)
+                    )
         return result
     if engine == "gpu":
         machine = machine if machine is not None else ParallelMachine()
@@ -127,6 +135,7 @@ def run_script(
                 with observe.span(
                     command, "pass", engine="gpu", index=index
                 ) as pass_span:
+                    wall_start = time.perf_counter()
                     steps = binder(
                         PassInvocation(
                             result.aig,
@@ -142,6 +151,9 @@ def run_script(
                                 step.aig, require_reachable=True
                             )
                     _annotate_pass(pass_span, steps[0], steps[-1])
+                    result.walls.append(
+                        (command, time.perf_counter() - wall_start)
+                    )
         machine.set_tag("")
         return result
     raise ValueError(f"unknown engine {engine!r} (use 'seq' or 'gpu')")

@@ -107,9 +107,20 @@ def run_scale_point(
         run_wall = time.perf_counter() - run_start
     finally:
         tracer, metrics = observe.disable()
+    pass_walls: dict[str, float] = {}
+    for command, wall in result.walls:
+        pass_walls[command] = pass_walls.get(command, 0.0) + wall
     point.update(
         {
             "run_wall_s": run_wall,
+            "run_ands_per_sec": (
+                aig.num_ands / run_wall if run_wall > 0 else 0.0
+            ),
+            "pass_wall_s": pass_walls,
+            "pass_wall_shares": {
+                command: wall / run_wall if run_wall > 0 else 0.0
+                for command, wall in pass_walls.items()
+            },
             "modeled_time_s": result.modeled_time(),
             "nodes_after": result.aig.num_ands,
             "levels_after": traversal.aig_depth(result.aig),
@@ -218,9 +229,19 @@ def scale_main(
     )
     print(
         f"  {args.script} [{args.engine}] {point['run_wall_s']:.2f}s "
-        f"wall, {point['modeled_time_s']:.6f}s modeled "
+        f"wall ({point['run_ands_per_sec']:,.0f} ANDs/s), "
+        f"{point['modeled_time_s']:.6f}s modeled "
         f"(peak RSS {point['peak_rss_mb']:.0f} MiB)"
     )
+    shares = point["pass_wall_shares"]
+    if shares:
+        breakdown = ", ".join(
+            f"{command} {share * 100:.0f}%"
+            for command, share in sorted(
+                shares.items(), key=lambda item: -item[1]
+            )
+        )
+        print(f"  pass wall shares: {breakdown}")
     status = 0
     if point["nodes"] < args.min_nodes:
         print(

@@ -319,13 +319,16 @@ class NodeHashTable:
         return resident << 1, probes + more
 
     def get_or_create_batch(
-        self, pairs: list[tuple[int, int]], alloc
+        self, pairs: list[tuple[int, int]], alloc, alloc_batch=None
     ) -> tuple[list[int], list[int]]:
         """Batched :meth:`get_or_create` over fanin-literal pairs.
 
         ``alloc`` is called in batch order for the items no equivalent
         node exists for — the deterministic stand-in for the GPU's
-        atomicCAS winner-takes-all.  Returns (literals, probe works).
+        atomicCAS winner-takes-all.  ``alloc_batch``, when provided
+        and the vector table is active, allocates whole miss chunks in
+        one call (same ids, same order — wall-clock only).  Returns
+        (literals, probe works).
         """
         if sanitizer.enabled:
             # Same-key items in one batch are the paper's atomicCAS
@@ -337,7 +340,9 @@ class NodeHashTable:
         if self._table.IS_VEC:
             from repro.parallel import vec
 
-            return vec.get_or_create_batch(self, pairs, alloc)
+            return vec.get_or_create_batch(
+                self, pairs, alloc, alloc_batch
+            )
         literals = []
         works = []
         for lit0, lit1 in pairs:

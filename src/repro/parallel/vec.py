@@ -467,12 +467,14 @@ def seed_batch(node_table, lits0, lits1, variables):
     return probes
 
 
-def get_or_create_batch(node_table, pairs, alloc):
+def get_or_create_batch(node_table, pairs, alloc, alloc_batch=None):
     """Vectorized :meth:`NodeHashTable.get_or_create` over a batch.
 
     ``alloc`` is invoked in batch order for exactly the items the
     scalar loop would have allocated, so fresh node ids — which feed
-    later hash keys — are assigned identically.  Returns
+    later hash keys — are assigned identically.  ``alloc_batch``, when
+    provided, allocates a whole miss chunk in one call (same order,
+    same ids — a pure wall-clock path).  Returns
     ``(literals, probe_works)`` as plain lists.
     """
     n = len(pairs)
@@ -488,10 +490,36 @@ def get_or_create_batch(node_table, pairs, alloc):
             literals.append(int(literal))
             works.append(probes)
         return literals, works
-    table = node_table._table
     arr = np.asarray(pairs, dtype=np.int64).reshape(n, 2)
-    key0 = np.minimum(arr[:, 0], arr[:, 1])
-    key1 = np.maximum(arr[:, 0], arr[:, 1])
+    lits, probes = goc_batch_arrays(
+        node_table, arr[:, 0], arr[:, 1], alloc, alloc_batch
+    )
+    return lits.tolist(), probes.tolist()
+
+
+def goc_batch_arrays(node_table, lits0, lits1, alloc, alloc_batch=None):
+    """Array-native :func:`get_or_create_batch` core.
+
+    Takes two parallel int64 literal arrays and returns
+    ``(literals, probe_works)`` as int64 ndarrays — the column-native
+    pass kernels feed these straight into ``launch_batch`` without a
+    list round-trip.  Below :data:`_SCALAR_CUTOFF` the inherited
+    scalar path runs item by item (same layouts, same counters).
+    """
+    n = lits0.shape[0]
+    if n < _SCALAR_CUTOFF:
+        out = np.empty(n, dtype=np.int64)
+        works = np.empty(n, dtype=np.int64)
+        for index in range(n):
+            literal, probes = node_table.get_or_create(
+                int(lits0[index]), int(lits1[index]), alloc
+            )
+            out[index] = literal
+            works[index] = probes
+        return out, works
+    table = node_table._table
+    key0 = np.minimum(lits0, lits1)
+    key1 = np.maximum(lits0, lits1)
     lits = np.full(n, -1, dtype=np.int64)
     probes = np.zeros(n, dtype=np.int64)
     # Trivial-AND folding, in the scalar rule order.
@@ -515,7 +543,7 @@ def get_or_create_batch(node_table, pairs, alloc):
             # one item scalar to keep the sequence exact, then resume.
             index = int(pending[start])
             lit, work = node_table.get_or_create(
-                int(arr[index, 0]), int(arr[index, 1]), alloc
+                int(lits0[index]), int(lits1[index]), alloc
             )
             lits[index] = lit
             probes[index] = work
@@ -523,14 +551,16 @@ def get_or_create_batch(node_table, pairs, alloc):
             continue
         stop = min(pending.size, start + room)
         chunk = pending[start:stop]
-        clit, cprb = _goc_chunk(table, key0[chunk], key1[chunk], alloc)
+        clit, cprb = _goc_chunk(
+            table, key0[chunk], key1[chunk], alloc, alloc_batch
+        )
         lits[chunk] = clit
         probes[chunk] = cprb
         start = stop
-    return lits.tolist(), probes.tolist()
+    return lits, probes
 
 
-def _goc_chunk(table, key0, key1, alloc):
+def _goc_chunk(table, key0, key1, alloc, alloc_batch=None):
     """get_or_create for one growth-free chunk; returns (lits, works).
 
     Misses insert a per-group negative sentinel value during stable
@@ -555,10 +585,19 @@ def _goc_chunk(table, key0, key1, alloc):
     # scalar loop.
     variables = np.empty(reps.shape[0], dtype=np.int64)
     tvalue = table._avalue
-    for pos in np.flatnonzero(miss).tolist():
-        var = alloc(int(key0[reps[pos]]), int(key1[reps[pos]]))
-        variables[pos] = var
-        tvalue[slot[pos]] = var
+    if alloc_batch is not None:
+        miss_pos = np.flatnonzero(miss)
+        if miss_pos.size:
+            created = alloc_batch(
+                key0[reps[miss_pos]], key1[reps[miss_pos]]
+            )
+            variables[miss_pos] = created
+            tvalue[slot[miss_pos]] = created
+    else:
+        for pos in np.flatnonzero(miss).tolist():
+            var = alloc(int(key0[reps[pos]]), int(key1[reps[pos]]))
+            variables[pos] = var
+            tvalue[slot[pos]] = var
     shared = res <= -2
     if shared.any():
         res[shared] = variables[-(res[shared] + 2)]

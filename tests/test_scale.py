@@ -333,3 +333,45 @@ def test_million_node_enlarge_within_rss_budget():
         f"documented {SCALE_BUDGET_MB} MiB budget for "
         f"{probe['ands']} ANDs (docs/ARCHITECTURE.md)"
     )
+
+
+# ----------------------------------------------------------------------
+# Scale-lane bench point: throughput and per-pass wall accounting
+# ----------------------------------------------------------------------
+
+
+def test_run_scale_point_reports_run_throughput(tmp_path):
+    from repro.experiments.scale import FORMAT, scale_main
+
+    output = tmp_path / "point.json"
+    status = scale_main([
+        "--base", "vga_lcd", "--scale", "2", "--script", "b; rw",
+        "--min-nodes", "1", "--output", str(output),
+    ])
+    assert status == 0
+    document = json.loads(output.read_text())
+    assert document["format"] == FORMAT
+    (point,) = document["points"]
+    assert point["run_ands_per_sec"] > 0
+    assert point["run_ands_per_sec"] == pytest.approx(
+        point["nodes"] / point["run_wall_s"]
+    )
+    # One wall entry per executed command, shares summing to the
+    # commands' fraction of the run wall.
+    assert set(point["pass_wall_s"]) == {"b", "rw"}
+    assert set(point["pass_wall_shares"]) == {"b", "rw"}
+    for command, wall in point["pass_wall_s"].items():
+        assert wall >= 0.0
+        assert point["pass_wall_shares"][command] == pytest.approx(
+            wall / point["run_wall_s"]
+        )
+
+
+def test_scheduler_records_command_walls():
+    from repro.engine import run_script
+    from tests.conftest import build_random_aig
+
+    for engine in ("gpu", "seq"):
+        result = run_script(build_random_aig(9), "b; rf; b", engine=engine)
+        assert [command for command, _ in result.walls] == ["b", "rf", "b"]
+        assert all(wall >= 0.0 for _, wall in result.walls)
