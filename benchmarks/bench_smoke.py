@@ -57,6 +57,11 @@ DEFAULT_CASES: tuple[tuple[str, str], ...] = (
     ("voter", "b; rw; rf; b"),
     ("vga_lcd", "b; rw; rf; b"),
     ("vga_lcd", "resyn2"),
+    # Deep-family rf/rfc pairing: the conflict-breaking pass promises
+    # strictly fewer level-wise rounds at equal-or-better QoR on
+    # depth-heavy graphs; scripts/bench_report.py gates the pair.
+    ("sqrt", "rf"),
+    ("sqrt", "rfc"),
 )
 
 #: Counters copied into each case (headline work indicators).
@@ -68,6 +73,10 @@ REPORTED_COUNTERS = (
     "hashtable.resizes",
     "rf.cones_collapsed",
     "rf.cones_replaced",
+    "rf.rounds",
+    "rfc.rounds",
+    "rfc.cones_admitted",
+    "rfc.conflicts_broken",
     "b.insertion_passes",
     "dedup.duplicates",
     "engine.cache_hits",

@@ -14,6 +14,11 @@ engine + scale) with tolerance bands:
   → **WARN** by default (CI machines are noisy); ``--strict-wall``
   turns the warning into a failure.
 * A baseline case missing from the run → **FAIL** (coverage loss).
+* **Gated counters** (``rf.rounds`` / ``rfc.rounds``): deterministic
+  round counts are gated like QoR — any increase fails.  On
+  benchmarks running both the ``rf`` and the ``rfc`` script the pair
+  is additionally cross-checked: the conflict-breaking pass must use
+  strictly fewer rounds at equal-or-better ANDs/depth.
 
 Exit code 0 when the gate passes, 1 otherwise.
 
@@ -44,6 +49,12 @@ from typing import Any
 
 DEFAULT_MODELED_TOLERANCE = 0.10
 DEFAULT_WALL_TOLERANCE = 0.25
+
+#: Deterministic counters gated like QoR: any increase over the
+#: baseline fails.  Round counts are the headline parallel-efficiency
+#: claim of the refactoring passes — fewer rounds is the whole point
+#: of conflict breaking, so a silent round-count regression is a bug.
+GATED_COUNTERS = ("rf.rounds", "rfc.rounds")
 
 #: Format identifier of repro.experiments.scale documents.
 SCALE_FORMAT = "repro.bench-scale/1"
@@ -146,6 +157,26 @@ def compare(
                     f"{label}: QoR improved — {field} {ref} -> {now} "
                     "(refresh the baseline to lock in)"
                 )
+        case_counters = case.get("counters", {})
+        base_counters = base.get("counters", {})
+        for counter in GATED_COUNTERS:
+            if counter not in base_counters:
+                continue
+            now, ref = case_counters.get(counter), base_counters[counter]
+            if now is None:
+                failures.append(
+                    f"{label}: counter {counter} missing from this run"
+                )
+            elif now > ref:
+                failures.append(
+                    f"{label}: counter regression — "
+                    f"{counter} {ref} -> {now}"
+                )
+            elif now < ref:
+                notes.append(
+                    f"{label}: counter improved — {counter} {ref} -> "
+                    f"{now} (refresh the baseline to lock in)"
+                )
         now, ref = case["modeled_time"], base["modeled_time"]
         if ref > 0 and now > ref * (1.0 + modeled_tolerance):
             failures.append(
@@ -167,6 +198,59 @@ def compare(
                 f"{key[0]} [{key[1]}]: new case (not in baseline)"
             )
     return failures, warnings, notes
+
+
+def refactor_dominance(
+    current: dict[str, Any],
+) -> tuple[list[str], list[str]]:
+    """Gate the rf/rfc pairing on benchmarks that run both.
+
+    Wherever one benchmark appears with both the ``rf`` and the ``rfc``
+    script (same engine and scale), the conflict-breaking pass must
+    finish in *strictly fewer* level-wise rounds at equal-or-better
+    ANDs and depth — the headline claim of overlapping-cone admission.
+    Returns ``(failures, lines)``; the lines surface the counters.
+    """
+    failures: list[str] = []
+    lines: list[str] = []
+    by_key = {case_key(c): c for c in current.get("cases", [])}
+    for (name, script, engine, scale), rfc in by_key.items():
+        if script != "rfc":
+            continue
+        rf = by_key.get((name, "rf", engine, scale))
+        if rf is None:
+            continue
+        rf_rounds = rf.get("counters", {}).get("rf.rounds")
+        rfc_counters = rfc.get("counters", {})
+        rfc_rounds = rfc_counters.get("rfc.rounds")
+        label = f"{name} [rfc vs rf]"
+        lines.append(
+            f"{label}: rounds {rfc_rounds} vs {rf_rounds}, ANDs "
+            f"{rfc['nodes_after']} vs {rf['nodes_after']}, levels "
+            f"{rfc['levels_after']} vs {rf['levels_after']}, "
+            f"{rfc_counters.get('rfc.cones_admitted', 0)} cones "
+            f"admitted, {rfc_counters.get('rfc.conflicts_broken', 0)} "
+            "conflicts broken"
+        )
+        if rf_rounds is None or rfc_rounds is None:
+            failures.append(f"{label}: round counters missing")
+            continue
+        if rfc_rounds >= rf_rounds:
+            failures.append(
+                f"{label}: rfc took {rfc_rounds} rounds, rf "
+                f"{rf_rounds} — conflict breaking must win"
+            )
+        if rfc["nodes_after"] > rf["nodes_after"]:
+            failures.append(
+                f"{label}: rfc ANDs {rfc['nodes_after']} worse than "
+                f"rf {rf['nodes_after']}"
+            )
+        if rfc["levels_after"] > rf["levels_after"]:
+            failures.append(
+                f"{label}: rfc depth {rfc['levels_after']} worse than "
+                f"rf {rf['levels_after']}"
+            )
+    return failures, lines
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -232,6 +316,10 @@ def main(argv: list[str] | None = None) -> int:
         modeled_tolerance=args.modeled_tolerance,
         wall_tolerance=args.wall_tolerance,
     )
+    pair_failures, pair_lines = refactor_dominance(current)
+    failures.extend(pair_failures)
+    for message in pair_lines:
+        print(f"PAIR  {message}")
     for message in notes:
         print(f"NOTE  {message}")
     for message in warnings:

@@ -47,7 +47,7 @@ GOLDEN_COUNTERS = (
     "dedup.duplicates",
 )
 
-SCRIPTS = ("resyn2", "rf_resyn", "resyn")
+SCRIPTS = ("resyn2", "rf_resyn", "resyn", "rfc_resyn")
 
 
 def golden_cases() -> list[tuple[str, object]]:

@@ -8,18 +8,40 @@ protocol, so cut computation, truth-table simulation and MFFC
 dereferencing all run unchanged on the partially rewritten graph.  The
 final :meth:`repro.aig.aig.Aig.compact` call resolves all aliases into
 a fresh, dense AIG.
+
+This module also hosts the cone-collection machinery the refactoring
+family shares: :class:`ConeJob` (one cone flowing through a
+resynthesis pipeline) and :func:`collapse_into_ffcs` (the level-wise
+disjoint-FFC partition of the paper's Section III-B, used by ``rf``
+and by resubstitution's donor harvest).  The conflict-breaking pass
+(:mod:`repro.algorithms.par_refactor_cb`) reuses :class:`ConeJob` with
+its own overlapping-cone collector.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import observe
 from repro.aig.aig import Aig
-from repro.aig.literals import lit_compl, lit_not_cond
+from repro.aig.cuts import CutResult, reconv_cut
+from repro.aig.literals import lit_compl, lit_not_cond, lit_var
 from repro.aig.mffc import RefCounts
-from repro.engine.context import resolved_fanout_counts
+from repro.engine.context import context_for, resolved_fanout_counts
+from repro.logic.resyn import ResynPlan
+from repro.parallel import backend
+from repro.parallel.frontier import gather_unique
+from repro.parallel.machine import ParallelMachine
+from repro.verify import mutations, sanitizer
 
-__all__ = ["AliasView", "PassResult", "RefCounts", "resolved_fanout_counts"]
+__all__ = [
+    "AliasView",
+    "ConeJob",
+    "PassResult",
+    "RefCounts",
+    "collapse_into_ffcs",
+    "resolved_fanout_counts",
+]
 
 
 class AliasView:
@@ -109,3 +131,147 @@ class PassResult:
             f"PassResult(nodes {self.nodes_before}->{self.nodes_after}, "
             f"levels {self.levels_before}->{self.levels_after})"
         )
+
+
+class ConeJob:
+    """One cone flowing through a refactoring pipeline.
+
+    ``deleted`` is the cone-restricted MFFC (the nodes that disappear
+    if the cone commits).  ``rf`` leaves it ``None`` — its disjoint
+    FFC cones delete their whole member set — while the
+    conflict-breaking pass fills it in, since an overlapping cone
+    keeps members that retain outside readers.
+    """
+
+    __slots__ = ("cut", "plan", "gain", "template", "new_root", "deleted")
+
+    def __init__(self, cut: CutResult) -> None:
+        self.cut = cut
+        self.plan: ResynPlan | None = None
+        self.gain: int | None = None
+        self.template: Aig | None = None
+        self.new_root: int | None = None
+        self.deleted: set[int] | None = None
+
+
+def collapse_into_ffcs(
+    aig: Aig,
+    max_cut_size: int,
+    machine: ParallelMachine,
+    early_stop: bool = True,
+) -> list[ConeJob]:
+    """Partition the AIG into disjoint FFCs, level-wise from the POs.
+
+    With ``early_stop`` disabled the traversal never stops at the cut
+    limit and full MFFCs are produced (used by tests of Property 2).
+    Raises ``AssertionError`` if two cones ever overlap — Theorem 1
+    says they cannot.
+    """
+    # Late import: the kernels module reaches back into the algorithm
+    # packages (seq_balance), which import this module at load time.
+    from repro.algorithms import kernels
+
+    context = context_for(aig)
+    drives_po = context.po_fanout_mask()
+    use_kernels = kernels.enabled_for(aig)
+    on_expand = None
+    if use_kernels:
+        # Column-native FFC test (docs/ARCHITECTURE.md, "Column-native
+        # passes"): instead of walking a Python fanout-adjacency per
+        # candidate, count how many of a variable's readers have joined
+        # the current cone (``reads``, maintained by the ``on_expand``
+        # hook of :func:`~repro.aig.cuts.reconv_cut`) and compare with
+        # its total reader count.  Every reader in the cone and every
+        # cone member's read deduplicate double edges identically, so
+        # the predicate decides exactly like the scalar list walk.
+        # Hot path: index via a plain list and the memoryview scalar
+        # twins — per-element ndarray indexing would dominate the walk.
+        degrees = context.fanout_degrees().tolist()
+        fan0_view = aig._f0c.view
+        fan1_view = aig._f1c.view
+        reads: dict[int, int] = {}
+
+        def expandable(var: int, cone: set[int]) -> bool:
+            return not drives_po[var] and reads.get(var, 0) == degrees[var]
+
+        def on_expand(member: int) -> None:
+            v0 = fan0_view[member] >> 1
+            v1 = fan1_view[member] >> 1
+            reads[v0] = reads.get(v0, 0) + 1
+            if v1 != v0:
+                reads[v1] = reads.get(v1, 0) + 1
+
+    else:
+        fanouts = context.fanout_lists()
+
+        def expandable(var: int, cone: set[int]) -> bool:
+            if drives_po[var]:
+                return False
+            for reader in fanouts[var]:
+                if reader not in cone:
+                    return False
+            return True
+
+    machine.launch_batch(
+        "rf.fanout_index", backend.const_profile(1, max(aig.num_vars, 1))
+    )
+
+    limit = max_cut_size if early_stop else aig.num_vars + 2
+    owner: dict[int, int] = {}
+    frontier, gather_work = gather_unique(
+        (lit_var(lit) for lit in aig.pos), keep=aig.is_and
+    )
+    machine.launch_batch(
+        "rf.init_frontier", backend.const_profile(1, max(gather_work, 1))
+    )
+    enqueued = set(frontier)
+    cones: list[ConeJob] = []
+    rounds = 0
+    # One guard spans the whole collapse: Theorem 1 claims *all* cones
+    # of the pass are pairwise disjoint, not just same-level ones, so
+    # every cone's member set is one write footprint.  (Leaf reads are
+    # synchronized by the replacement protocol's redirect kernel and
+    # are deliberately not registered — see docs/VERIFICATION.md.)
+    guard = sanitizer.batch("rf.collapse")
+    while frontier:
+        rounds += 1
+        works = []
+        candidates: list[int] = []
+        for root in frontier:
+            if on_expand is not None:
+                reads.clear()  # read counts are per-cone state
+            cut = reconv_cut(
+                aig, root, limit,
+                expandable=expandable, on_expand=on_expand,
+            )
+            if mutations.armed and mutations.active("rf-overlap-cones"):
+                if owner:
+                    cut.cone.add(next(iter(owner)))
+            works.append(cut.work)
+            if sanitizer.enabled:
+                guard.write(root, cut.cone)
+            for member in cut.cone:
+                previous = owner.get(member)
+                if previous is not None:
+                    raise AssertionError(
+                        f"cone overlap: node {member} claimed by roots "
+                        f"{previous} and {root} (violates Theorem 1)"
+                    )
+                owner[member] = root
+            cones.append(ConeJob(cut))
+            candidates.extend(cut.leaves)
+        machine.launch("rf.collapse", works)
+        frontier, gather_work = gather_unique(
+            candidates,
+            keep=lambda var: aig.is_and(var) and var not in enqueued,
+        )
+        enqueued.update(frontier)
+        machine.launch_batch(
+            "rf.gather_frontier",
+            backend.const_profile(1, max(len(candidates), 1)),
+        )
+    if observe.enabled:
+        observe.count("rf.rounds", rounds)
+    if use_kernels and observe.enabled:
+        observe.count("kernels.rf_degree_cones", len(cones))
+    return cones

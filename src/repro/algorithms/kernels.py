@@ -476,6 +476,94 @@ def refactor_survivor_keys(
 
 
 # ----------------------------------------------------------------------
+# par_refactor_cb: batched cone-restricted deletable sets
+# ----------------------------------------------------------------------
+
+
+def refactor_deleted_sets(
+    aig: Aig, nref, item_roots: list, item_cones: list
+) -> list[set[int]]:
+    """Deletable node sets of many (root, cone) items in one sweep.
+
+    The set semantics are exactly those of
+    :func:`repro.algorithms.seq_refactor.deref_cone` run per item on
+    pristine reference counts: the least fixpoint seeded at the root of
+    "every fanout reference comes from an already-deleted cone member",
+    with ``nref`` the PO-inclusive fanout counts (double edges counted
+    twice).  Unlike :func:`rewrite_batched_mffc` the *membership* is
+    returned, not just the sizes — the conflict resolver of the
+    conflict-breaking refactoring pass needs the footprints themselves.
+    """
+    import numpy as np
+
+    num_items = len(item_cones)
+    if not num_items:
+        return []
+    counts = np.fromiter(
+        (len(cone) for cone in item_cones),
+        dtype=np.int64,
+        count=num_items,
+    )
+    if counts.max() == 1:
+        return [{root} for root in item_roots]
+    fan0, fan1, _ = aig.arrays()
+    offsets = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(counts))
+    )
+    total = int(offsets[-1])
+    vars_flat = np.empty(total, dtype=np.int64)
+    position = 0
+    for cone in item_cones:
+        upto = position + len(cone)
+        vars_flat[position:upto] = list(cone)
+        position = upto
+    item_of = np.repeat(np.arange(num_items, dtype=np.int64), counts)
+    # Per-item slot lookup as in :func:`rewrite_batched_mffc`: cone
+    # members are unique within an item, so (item, var) keys are
+    # globally unique and searchsorted resolves a fanin's slot (or
+    # proves it lies outside the cone).
+    stride = aig.num_vars
+    keys = item_of * stride + vars_flat
+    order = np.argsort(keys)
+    sorted_keys = keys[order]
+    dst_var = np.concatenate(
+        (fan0[vars_flat] >> 1, fan1[vars_flat] >> 1)
+    )
+    dst_keys = np.concatenate((item_of, item_of)) * stride + dst_var
+    found = np.minimum(
+        np.searchsorted(sorted_keys, dst_keys), total - 1
+    )
+    inside = sorted_keys[found] == dst_keys
+    dst_slot = np.full(2 * total, -1, dtype=np.int64)
+    dst_slot[inside] = order[found[inside]]
+    need = np.asarray(nref)[vars_flat]
+    deleted = np.zeros(total, dtype=bool)
+    root_keys = (
+        np.arange(num_items, dtype=np.int64) * stride
+        + np.asarray(item_roots, dtype=np.int64)
+    )
+    root_slots = order[np.searchsorted(sorted_keys, root_keys)]
+    deleted[root_slots] = True
+    dec = np.zeros(total, dtype=np.int64)
+    frontier = root_slots
+    while frontier.size:
+        edges = np.concatenate((frontier, frontier + total))
+        dsts = dst_slot[edges]
+        dsts = dsts[dsts >= 0]
+        dec += np.bincount(dsts, minlength=total)
+        newly = (dec == need) & ~deleted & (need > 0)
+        frontier = np.flatnonzero(newly)
+        deleted[frontier] = True
+    slots = np.flatnonzero(deleted)
+    members = vars_flat[slots].tolist()
+    owners = item_of[slots].tolist()
+    sets: list[set[int]] = [set() for _ in range(num_items)]
+    for owner, member in zip(owners, members):
+        sets[owner].add(member)
+    return sets
+
+
+# ----------------------------------------------------------------------
 # par_rewrite: batched MFFC sizing
 # ----------------------------------------------------------------------
 
@@ -581,6 +669,7 @@ __all__ = [
     "balance_finalize_pos",
     "balance_reconstruct",
     "enabled_for",
+    "refactor_deleted_sets",
     "refactor_survivor_keys",
     "rewrite_batched_mffc",
 ]

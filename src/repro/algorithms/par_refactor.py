@@ -3,9 +3,12 @@
 The pass runs in three stages:
 
 1. **Collapsing** (III-B a): partition the AIG into disjoint fanout-free
-   cones, level-wise from POs to PIs.  One thread per frontier root
-   runs a best-first intra-cone traversal that only expands nodes whose
-   every fanout already lies inside the cone (the FFC condition) and
+   cones, level-wise from POs to PIs, via the shared cone-collection
+   helpers :class:`~repro.algorithms.common.ConeJob` and
+   :func:`~repro.algorithms.common.collapse_into_ffcs` (re-exported
+   here for compatibility).  One thread per frontier root runs a
+   best-first intra-cone traversal that only expands nodes whose every
+   fanout already lies inside the cone (the FFC condition) and
    early-stops at the maximum cut size; cut nodes become the next
    frontier.  Theorem 1 guarantees the cones are pairwise disjoint —
    the implementation asserts it with an owner map.
@@ -30,10 +33,14 @@ from __future__ import annotations
 
 from repro import observe
 from repro.aig.aig import Aig
-from repro.aig.cuts import _PAIR_TABLES, CutResult, reconv_cut
+from repro.aig.cuts import _PAIR_TABLES
 from repro.aig.literals import lit_compl, lit_not_cond, lit_var, make_lit
 from repro.algorithms import kernels
-from repro.algorithms.common import PassResult
+from repro.algorithms.common import (
+    ConeJob,
+    PassResult,
+    collapse_into_ffcs,
+)
 from repro.algorithms.dedup import dedup_and_dangling
 from repro.engine.context import clone_with_context, context_for
 from repro.engine.registry import (
@@ -44,26 +51,14 @@ from repro.engine.registry import (
 from repro.logic.resyn import ResynPlan, build_plan, plan_resynthesis
 from repro.logic.truth import simulate_cone
 from repro.parallel import backend
-from repro.parallel.frontier import gather_unique
 from repro.parallel.hashtable import NodeHashTable
 from repro.parallel.machine import ParallelMachine
 from repro.verify import mutations, sanitizer
 
+__all__ = ["ConeJob", "collapse_into_ffcs", "par_refactor"]
+
 #: The paper's maximum refactoring cut size.
 DEFAULT_CUT_SIZE = 12
-
-
-class ConeJob:
-    """One cone flowing through the refactoring pipeline."""
-
-    __slots__ = ("cut", "plan", "gain", "template", "new_root")
-
-    def __init__(self, cut: CutResult) -> None:
-        self.cut = cut
-        self.plan: ResynPlan | None = None
-        self.gain: int | None = None
-        self.template: Aig | None = None
-        self.new_root: int | None = None
 
 
 @register_pass(
@@ -145,126 +140,6 @@ def _bind_rf(invocation: PassInvocation) -> list[PassResult]:
             machine=invocation.machine,
         )
     ]
-
-
-# ----------------------------------------------------------------------
-# Stage 1: collapsing
-# ----------------------------------------------------------------------
-
-
-def collapse_into_ffcs(
-    aig: Aig,
-    max_cut_size: int,
-    machine: ParallelMachine,
-    early_stop: bool = True,
-) -> list[ConeJob]:
-    """Partition the AIG into disjoint FFCs, level-wise from the POs.
-
-    With ``early_stop`` disabled the traversal never stops at the cut
-    limit and full MFFCs are produced (used by tests of Property 2).
-    Raises ``AssertionError`` if two cones ever overlap — Theorem 1
-    says they cannot.
-    """
-    context = context_for(aig)
-    drives_po = context.po_fanout_mask()
-    use_kernels = kernels.enabled_for(aig)
-    on_expand = None
-    if use_kernels:
-        # Column-native FFC test (docs/ARCHITECTURE.md, "Column-native
-        # passes"): instead of walking a Python fanout-adjacency per
-        # candidate, count how many of a variable's readers have joined
-        # the current cone (``reads``, maintained by the ``on_expand``
-        # hook of :func:`~repro.aig.cuts.reconv_cut`) and compare with
-        # its total reader count.  Every reader in the cone and every
-        # cone member's read deduplicate double edges identically, so
-        # the predicate decides exactly like the scalar list walk.
-        # Hot path: index via a plain list and the memoryview scalar
-        # twins — per-element ndarray indexing would dominate the walk.
-        degrees = context.fanout_degrees().tolist()
-        fan0_view = aig._f0c.view
-        fan1_view = aig._f1c.view
-        reads: dict[int, int] = {}
-
-        def expandable(var: int, cone: set[int]) -> bool:
-            return not drives_po[var] and reads.get(var, 0) == degrees[var]
-
-        def on_expand(member: int) -> None:
-            v0 = fan0_view[member] >> 1
-            v1 = fan1_view[member] >> 1
-            reads[v0] = reads.get(v0, 0) + 1
-            if v1 != v0:
-                reads[v1] = reads.get(v1, 0) + 1
-
-    else:
-        fanouts = context.fanout_lists()
-
-        def expandable(var: int, cone: set[int]) -> bool:
-            if drives_po[var]:
-                return False
-            for reader in fanouts[var]:
-                if reader not in cone:
-                    return False
-            return True
-
-    machine.launch_batch(
-        "rf.fanout_index", backend.const_profile(1, max(aig.num_vars, 1))
-    )
-
-    limit = max_cut_size if early_stop else aig.num_vars + 2
-    owner: dict[int, int] = {}
-    frontier, gather_work = gather_unique(
-        (lit_var(lit) for lit in aig.pos), keep=aig.is_and
-    )
-    machine.launch_batch(
-        "rf.init_frontier", backend.const_profile(1, max(gather_work, 1))
-    )
-    enqueued = set(frontier)
-    cones: list[ConeJob] = []
-    # One guard spans the whole collapse: Theorem 1 claims *all* cones
-    # of the pass are pairwise disjoint, not just same-level ones, so
-    # every cone's member set is one write footprint.  (Leaf reads are
-    # synchronized by the replacement protocol's redirect kernel and
-    # are deliberately not registered — see docs/VERIFICATION.md.)
-    guard = sanitizer.batch("rf.collapse")
-    while frontier:
-        works = []
-        candidates: list[int] = []
-        for root in frontier:
-            if on_expand is not None:
-                reads.clear()  # read counts are per-cone state
-            cut = reconv_cut(
-                aig, root, limit,
-                expandable=expandable, on_expand=on_expand,
-            )
-            if mutations.armed and mutations.active("rf-overlap-cones"):
-                if owner:
-                    cut.cone.add(next(iter(owner)))
-            works.append(cut.work)
-            if sanitizer.enabled:
-                guard.write(root, cut.cone)
-            for member in cut.cone:
-                previous = owner.get(member)
-                if previous is not None:
-                    raise AssertionError(
-                        f"cone overlap: node {member} claimed by roots "
-                        f"{previous} and {root} (violates Theorem 1)"
-                    )
-                owner[member] = root
-            cones.append(ConeJob(cut))
-            candidates.extend(cut.leaves)
-        machine.launch("rf.collapse", works)
-        frontier, gather_work = gather_unique(
-            candidates,
-            keep=lambda var: aig.is_and(var) and var not in enqueued,
-        )
-        enqueued.update(frontier)
-        machine.launch_batch(
-            "rf.gather_frontier",
-            backend.const_profile(1, max(len(candidates), 1)),
-        )
-    if use_kernels and observe.enabled:
-        observe.count("kernels.rf_degree_cones", len(cones))
-    return cones
 
 
 # ----------------------------------------------------------------------

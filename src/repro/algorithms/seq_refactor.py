@@ -118,10 +118,18 @@ def _try_replace(
     root: int,
     max_cut_size: int,
     min_gain: int,
+    level_cap: dict[int, int] | None = None,
 ) -> tuple[int | None, int]:
     """Evaluate and (if profitable) commit one cone replacement.
 
     Returns ``(gain_or_None, work_units)``; ``None`` means rejected.
+
+    ``level_cap`` (optional) maps every live variable to an upper bound
+    on its level; a replacement whose new root would exceed the old
+    root's cap is rejected, and created nodes record their own caps —
+    the conflict-breaking pass uses this to guarantee the pass never
+    deepens the graph.  ``None`` (the default, used by ``rf``/``rfz``)
+    skips the check entirely.
     """
     aig = view.aig
     cut = reconv_cut(view, root, max_cut_size)
@@ -150,7 +158,19 @@ def _try_replace(
     work += created + len(deleted)
     gain = len(deleted) - created
 
-    if gain < min_gain or (new_root >> 1) == root:
+    too_deep = False
+    if level_cap is not None:
+        # Created ids are contiguous and topological, so one ascending
+        # sweep fills their caps; a rejected attempt's stale entries
+        # are overwritten when the ids are reused.
+        for var in range(snapshot, aig.num_vars):
+            f0, f1 = aig.fanins(var)
+            level_cap[var] = 1 + max(
+                level_cap[lit_var(f0)], level_cap[lit_var(f1)]
+            )
+        too_deep = level_cap[new_root >> 1] > level_cap[root]
+
+    if gain < min_gain or (new_root >> 1) == root or too_deep:
         # Reject: retire the speculative nodes, revive the dereferenced
         # cone and restore its reference counts.
         aig.truncate(snapshot)

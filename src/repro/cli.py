@@ -13,9 +13,10 @@ Subcommands::
     repro-aig table1 | table2 | table3 | fig7 | fig8   [--quick] [...]
 
 ``opt`` accepts the named sequences (``resyn2``, ``rf_resyn``,
-``resyn``) or any semicolon script of b/rw/rwz/rf/rfz/rs; the
-table/figure subcommands regenerate the paper's exhibits (see
-EXPERIMENTS.md).
+``rfc_resyn``, ``resyn``) or any semicolon script of
+b/rw/rwz/rf/rfz/rs/rfc (``rfc`` is conflict-breaking parallel
+refactoring); the table/figure subcommands regenerate the paper's
+exhibits (see EXPERIMENTS.md).
 """
 
 from __future__ import annotations

@@ -40,13 +40,15 @@ NAMED_SEQUENCES = {
     "resyn": "b; rw; rwz; b; rwz; b",
     "resyn2": "b; rw; rf; b; rw; rwz; b; rfz; rwz; b",
     "rf_resyn": "b; rf; rfz; b; rfz; b",
+    "rfc_resyn": "b; rfc; b; rfc; b",
 }
 
-#: The builtin script commands.  ``rs`` (resubstitution) is this
-#: library's extension implementing the paper's stated future work; the
-#: other five commands are the paper's.  Plugins may extend the live
-#: set (see :func:`command_names`).
-VALID_COMMANDS = ("b", "rw", "rwz", "rf", "rfz", "rs")
+#: The builtin script commands.  ``rs`` (resubstitution) and ``rfc``
+#: (conflict-breaking refactoring) are this library's extensions
+#: implementing the paper's stated future work; the other five
+#: commands are the paper's.  Plugins may extend the live set (see
+#: :func:`command_names`).
+VALID_COMMANDS = ("b", "rw", "rwz", "rf", "rfz", "rs", "rfc")
 
 #: Default maximum refactoring cut size (the paper's setting).
 DEFAULT_MAX_CUT_SIZE = 12
@@ -151,6 +153,7 @@ def _ensure_builtin() -> None:
     import repro.algorithms.dedup  # noqa: F401
     import repro.algorithms.par_balance  # noqa: F401
     import repro.algorithms.par_refactor  # noqa: F401
+    import repro.algorithms.par_refactor_cb  # noqa: F401
     import repro.algorithms.par_rewrite  # noqa: F401
     import repro.algorithms.resub  # noqa: F401
     import repro.algorithms.seq_balance  # noqa: F401

@@ -44,8 +44,10 @@ SCRIPT_POOL = (
     "b",
     "rw",
     "rf",
+    "rfc",
     "b; rw; rf",
     "rf; b; rwz",
+    "b; rfc; rwz",
     "b; rw; rf; b; rwz",
 )
 

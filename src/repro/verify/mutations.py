@@ -33,6 +33,16 @@ MUTATIONS: dict[str, tuple[str, str]] = {
         "refactoring replacement redirects old roots with the "
         "complement bit flipped",
     ),
+    "rfc-drop-conflict": (
+        "sanitizer",
+        "conflict-breaking resolver ignores every conflict edge, so "
+        "two conflicting commits land in the same parallel wave",
+    ),
+    "rfc-stale-fanin": (
+        "cec",
+        "conflict-breaking commit writes a stale (complemented) fanin "
+        "literal into the first inserted template node",
+    ),
     "b-flip-input": (
         "cec",
         "balance reconstruction complements one cluster operand",

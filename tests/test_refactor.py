@@ -136,6 +136,24 @@ def test_collapse_without_early_stop_yields_mffcs(seeded_aig):
         assert job.cut.cone == mffc_nodes(seeded_aig, job.cut.root, nref)
 
 
+def test_collapse_with_unlimited_cut_size_yields_mffcs(seeded_aig):
+    """An unlimited ``max_cut_size`` must behave like no early stop.
+
+    Regression guard for the move of :func:`collapse_into_ffcs` into
+    ``repro.algorithms.common``: with the limit above any reachable
+    leaf count, the early-stop predicate never fires, so the collected
+    cones are again exactly the MFFCs of their roots.
+    """
+    from repro.aig.mffc import mffc_nodes
+    from repro.aig.traversal import fanout_counts
+
+    unlimited = seeded_aig.num_vars + 2
+    cones = collapse_into_ffcs(seeded_aig, unlimited, ParallelMachine())
+    nref = fanout_counts(seeded_aig)
+    for job in cones:
+        assert job.cut.cone == mffc_nodes(seeded_aig, job.cut.root, nref)
+
+
 # ----------------------------------------------------------------------
 # Parallel refactoring end to end
 # ----------------------------------------------------------------------

@@ -22,6 +22,7 @@ import pytest
 
 from repro.algorithms.par_balance import par_balance
 from repro.algorithms.par_refactor import par_refactor
+from repro.algorithms.par_refactor_cb import par_refactor_cb
 from repro.algorithms.par_rewrite import par_rewrite
 from repro.benchgen.random_aig import mtm_random
 from repro.cec.equivalence import CecStatus, check_equivalence
@@ -34,6 +35,8 @@ from tests.conftest import assert_equivalent
 PASS_FOR = {
     "rf-overlap-cones": par_refactor,
     "rf-flip-root": par_refactor,
+    "rfc-drop-conflict": par_refactor_cb,
+    "rfc-stale-fanin": par_refactor_cb,
     "b-flip-input": par_balance,
     "rw-flip-root": par_rewrite,
     "dedup-stale-level": par_rewrite,
