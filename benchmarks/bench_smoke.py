@@ -82,6 +82,13 @@ REPORTED_COUNTERS = (
     "engine.cache_hits",
     "engine.cache_misses",
     "engine.cache_extends",
+    # Commit-layer throughput split: nodes landed through the bulk
+    # column constructor vs one-at-a-time scalar allocation.  Reported
+    # (and watched by scripts/bench_report.py) but never gated — the
+    # split is wall-clock bookkeeping, not a deterministic quantity
+    # shared across backends.
+    "commit.bulk_nodes",
+    "commit.serial_replays",
 )
 
 #: Wall-clock repeats per (case, backend); the best is reported.

@@ -45,9 +45,9 @@ from repro.algorithms.seq_balance import (
     BALANCE_WORK_SCALE,
     collect_cluster_inputs,
 )
+from repro.commit import InsertionSession
 from repro.engine.context import context_for
 from repro.parallel import backend
-from repro.parallel.hashtable import NodeHashTable
 from repro.parallel.machine import ParallelMachine
 from repro.verify import mutations, sanitizer
 
@@ -286,8 +286,6 @@ def balance_reconstruct(
     """
     import numpy as np
 
-    from repro.parallel import vec
-
     level = _levelize_collapsed(aig, plan)
     machine.launch_batch(
         "b.levelize",
@@ -297,17 +295,14 @@ def balance_reconstruct(
     )
 
     new = Aig(aig.name)
-    table = NodeHashTable(expected=aig.num_ands * 2)
+    # Counted allocation through the commit layer: whole miss chunks go
+    # through the batch constructor (``commit.bulk_nodes``), stragglers
+    # through the scalar path (``commit.serial_replays``).
+    session = InsertionSession(new, expected=aig.num_ands * 2)
     mapped = np.zeros(aig.num_vars, dtype=np.int64)
     delay = np.zeros(aig.num_vars, dtype=np.int64)
     pis = aig.pi_array()
     mapped[pis] = new.add_pi_batch(int(pis.shape[0]))
-
-    def alloc(key0: int, key1: int) -> int:
-        return new.add_raw_and(key0, key1) >> 1
-
-    def alloc_batch(key0, key1):
-        return new.add_raw_and_batch(key0, key1) >> 1
 
     if not plan.num_roots:
         return new, mapped
@@ -368,9 +363,7 @@ def balance_reconstruct(
             l0[position] = hl0
             d1[position] = hd1
             l1[position] = hl1
-        merged, probes = vec.goc_batch_arrays(
-            table, l0, l1, alloc, alloc_batch
-        )
+        merged, probes = session.insert_round_arrays(l0, l1)
         d_new = np.select(
             [merged == l0, merged == l1, merged <= 1],
             [d0, d1, np.zeros(n, dtype=np.int64)],
@@ -398,9 +391,7 @@ def balance_reconstruct(
                 popped.append((heap, hd0, hl0, hd1, hl1))
             if not pairs:
                 break
-            merged_list, probes_list = table.get_or_create_batch(
-                pairs, alloc, alloc_batch
-            )
+            merged_list, probes_list = session.insert_round(pairs)
             works = []
             for (heap, hd0, hl0, hd1, hl1), got, cost in zip(
                 popped, merged_list, probes_list
@@ -486,7 +477,7 @@ def refactor_deleted_sets(
     """Deletable node sets of many (root, cone) items in one sweep.
 
     The set semantics are exactly those of
-    :func:`repro.algorithms.seq_refactor.deref_cone` run per item on
+    :func:`repro.commit.deref_cone` run per item on
     pristine reference counts: the least fixpoint seeded at the root of
     "every fanout reference comes from an already-deleted cone member",
     with ``nref`` the PO-inclusive fanout counts (double edges counted

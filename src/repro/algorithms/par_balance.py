@@ -33,6 +33,7 @@ from repro.algorithms.seq_balance import (
     _internal_mask,
     collect_cluster_inputs,
 )
+from repro.commit import InsertionSession
 from repro.engine.context import context_for
 from repro.engine.registry import (
     PassInvocation,
@@ -41,7 +42,6 @@ from repro.engine.registry import (
 )
 from repro.parallel import backend
 from repro.parallel.frontier import gather_unique
-from repro.parallel.hashtable import NodeHashTable
 from repro.parallel.machine import ParallelMachine
 from repro.verify import mutations, sanitizer
 
@@ -206,13 +206,13 @@ def _reconstruct(
         batches.setdefault(level_of[root], []).append(root)
 
     new = Aig(aig.name)
-    table = NodeHashTable(expected=aig.num_ands * 2)
+    # All node allocation funnels through the commit layer's counted
+    # session (bulk column construction when available, bit-identical
+    # scalar fallback otherwise).
+    session = InsertionSession(new, expected=aig.num_ands * 2)
     lit_map: dict[int, tuple[int, int]] = {0: (0, 0)}
     for var in aig.pis:
         lit_map[var] = (new.add_pi(), 0)
-
-    def alloc(key0: int, key1: int) -> int:
-        return new.add_raw_and(key0, key1) >> 1
 
     mutate = mutations.armed and mutations.active("b-flip-input")
     for level in sorted(batches):
@@ -256,9 +256,7 @@ def _reconstruct(
                 popped.append((heap, d0, l0, d1, l1))
             if not pairs:
                 break
-            merged_list, probes_list = table.get_or_create_batch(
-                pairs, alloc
-            )
+            merged_list, probes_list = session.insert_round(pairs)
             works = []
             for (heap, d0, l0, d1, l1), merged, probes in zip(
                 popped, merged_list, probes_list

@@ -42,6 +42,7 @@ from repro.algorithms.common import (
     collapse_into_ffcs,
 )
 from repro.algorithms.dedup import dedup_and_dangling
+from repro.commit import CommitEngine, Footprint, RewritePlan
 from repro.engine.context import clone_with_context, context_for
 from repro.engine.registry import (
     PassInvocation,
@@ -51,9 +52,7 @@ from repro.engine.registry import (
 from repro.logic.resyn import ResynPlan, build_plan, plan_resynthesis
 from repro.logic.truth import simulate_cone
 from repro.parallel import backend
-from repro.parallel.hashtable import NodeHashTable
 from repro.parallel.machine import ParallelMachine
-from repro.verify import mutations, sanitizer
 
 __all__ = ["ConeJob", "collapse_into_ffcs", "par_refactor"]
 
@@ -97,7 +96,7 @@ def par_refactor(
     kept += refined
     observe.count("rf.cones_replaced", len(kept))
     with observe.span("rf.replace", "stage"):
-        alias = _replace(working, cones, kept, machine, replace_mode)
+        alias = _replace(working, kept, machine, replace_mode)
 
     # Host post-processing: assembling the replacement list and
     # resolving the outputs — the only sequential part of the proposed
@@ -343,7 +342,6 @@ def _semi_sharing_refine(
 
 def _replace(
     aig: Aig,
-    cones: list[ConeJob],
     kept: list[ConeJob],
     machine: ParallelMachine,
     replace_mode: str,
@@ -354,6 +352,12 @@ def _replace(
     The whole stage runs as parallel kernels in ``"parallel"`` mode; in
     ``"sequential"`` mode the identical work is charged to the host,
     modeling the replacement step of GPU rewriting [9].
+
+    Each kept cone becomes one :class:`~repro.commit.RewritePlan`
+    whose write footprint is the whole member set — Theorem 1
+    guarantees the cones are pairwise disjoint, so the wave commits
+    without conflict resolution (no read footprints needed; leaf reads
+    are synchronized by the level-wise protocol).
     """
     parallel = replace_mode == "parallel"
 
@@ -363,105 +367,23 @@ def _replace(
         else:
             machine.host(name, sum(works))
 
-    # Delete the old cones that are being replaced.  One lane per kept
-    # cone deletes its members concurrently; the write footprints must
-    # be disjoint (Theorem 1) or two lanes would race on a node.
-    guard = sanitizer.batch("rf.replace")
-    delete_works = []
-    replaced_nodes: set[int] = set()
-    for job in kept:
-        if sanitizer.enabled:
-            guard.write(job.cut.root, job.cut.cone)
-        for member in job.cut.cone:
-            replaced_nodes.add(member)
-        delete_works.append(len(job.cut.cone))
-    account("rf.delete_old", delete_works)
-    for member in replaced_nodes:
-        aig.mark_dead(member)
-
-    # Seed the hash table with every surviving AND node (the cones not
-    # replaced; the cut nodes of replaced cones are roots of other
-    # cones and are covered by the same sweep).  Initialization is a
-    # parallel kernel in both replace modes — what [9] serializes is
-    # the replacement decision, not the table build.
-    table = NodeHashTable(expected=max(aig.num_ands * 2, 64))
-    if backend.use_numpy():
-        # The graph is static here, so the survivor sweep reads the
-        # core's column views in place — no per-node facade calls and
-        # no materialized pair list.  Orders and values match the
-        # scalar sweep exactly (live ANDs in ascending id order).
-        survivors = aig.live_and_array()
-        fan0, fan1, _ = aig.arrays()
-        seed_works = table.seed_batch(
-            fan0[survivors], fan1[survivors], survivors
+    engine = CommitEngine(
+        aig,
+        machine,
+        "rf",
+        account=account,
+        root_flip_mutation="rf-flip-root",
+        pad_delete=False,
+    )
+    plans = [
+        RewritePlan(
+            job.cut.root,
+            sorted(job.cut.leaves),
+            job.template,
+            Footprint(job.cut.cone),
+            gain=job.gain,
+            tag=job,
         )
-    else:
-        survivors = list(aig.and_vars())
-        fanin_pairs = [aig.fanins(var) for var in survivors]
-        seed_works = table.seed_batch(
-            [pair[0] for pair in fanin_pairs],
-            [pair[1] for pair in fanin_pairs],
-            survivors,
-        )
-    machine.launch("rf.seed_table", seed_works or [0])
-
-    def alloc(key0: int, key1: int) -> int:
-        return aig.add_raw_and(key0, key1) >> 1
-
-    # Whole miss chunks allocate through the batch constructor when the
-    # columns support it — same ids in the same order, wall-clock only.
-    alloc_batch = None
-    if backend.use_numpy() and aig._f0c.numpy:
-
-        def alloc_batch(key0, key1):
-            return aig.add_raw_and_batch(key0, key1) >> 1
-
-    # Insert the new cones: one node per cone per synchronized round.
-    # Each cone walks its template in topological (id) order; template
-    # PIs map to the cone's cut nodes in the original id space.
-    states = []
-    for job in kept:
-        template = job.template
-        leaf_lits = [make_lit(var) for var in sorted(job.cut.leaves)]
-        lit_map: dict[int, int] = {0: 0}
-        for t_var, lit in zip(template.pis, leaf_lits):
-            lit_map[t_var] = lit
-        states.append((job, template, lit_map, list(template.and_vars())))
-    round_index = 0
-    while True:
-        # One synchronized round: every still-active cone contributes
-        # its next template node; fanin literals only reference earlier
-        # rounds, so the whole round is one batched table operation.
-        pairs = []
-        active = []
-        for job, template, lit_map, order in states:
-            if round_index >= len(order):
-                continue
-            t_var = order[round_index]
-            f0, f1 = template.fanins(t_var)
-            n0 = lit_not_cond(lit_map[lit_var(f0)], lit_compl(f0))
-            n1 = lit_not_cond(lit_map[lit_var(f1)], lit_compl(f1))
-            pairs.append((n0, n1))
-            active.append((lit_map, t_var))
-        if not pairs:
-            break
-        literals, probes_list = table.get_or_create_batch(
-            pairs, alloc, alloc_batch
-        )
-        for (lit_map, t_var), literal in zip(active, literals):
-            lit_map[t_var] = literal
-        account("rf.insertion_round", [probes + 1 for probes in probes_list])
-        round_index += 1
-    observe.count("rf.insertion_rounds", round_index)
-
-    # Redirect old roots to new roots.
-    alias: dict[int, int] = {}
-    for job, template, lit_map, _ in states:
-        po_lit = template.pos[0]
-        new_root = lit_not_cond(lit_map[lit_var(po_lit)], lit_compl(po_lit))
-        if mutations.armed and mutations.active("rf-flip-root"):
-            new_root ^= 1
-        if (new_root >> 1) != job.cut.root:
-            alias[job.cut.root] = new_root
-    account("rf.redirect_roots", [1] * max(len(states), 1))
-    return alias
+        for job in kept
+    ]
+    return engine.commit_wave(plans)

@@ -45,7 +45,7 @@ The pipeline:
    *broken conflicts* (``rfc.conflicts_broken``) and fall back to the
    serial lane.
 4. **Commit**: the wave lands through the batched commit path of
-   :mod:`repro.parallel.commit` (delete, seed survivor table, one
+   :mod:`repro.commit` (delete, seed survivor table, one
    node per cone per synchronized round, redirect roots), with each
    lane registering its deletable-set write and leaf-read footprints.
    The serial lane then replays the broken conflicts *and* every cone
@@ -65,20 +65,21 @@ both, plus equivalence and resolver determinism.
 
 from __future__ import annotations
 
-import random
-
 from repro import observe
 from repro.aig.aig import Aig
 from repro.aig.cuts import reconv_cut
-from repro.aig.literals import lit_compl, lit_not_cond, lit_var, make_lit
+from repro.aig.literals import lit_var, make_lit
 from repro.algorithms import kernels
 from repro.algorithms.common import AliasView, ConeJob, PassResult
 from repro.algorithms.dedup import dedup_and_dangling
-from repro.algorithms.seq_refactor import (
-    _try_replace,
+from repro.algorithms.seq_refactor import _try_replace, seq_refactor
+from repro.commit import (
+    CommitEngine,
+    Footprint,
+    RewritePlan,
     deref_cone,
     ref_cone_back,
-    seq_refactor,
+    retire_unreachable,
 )
 from repro.engine.context import (
     clone_with_context,
@@ -94,10 +95,9 @@ from repro.engine.registry import (
 from repro.logic.resyn import ResynPlan, build_plan, plan_resynthesis
 from repro.logic.truth import simulate_cone, tt_support
 from repro.parallel import backend
-from repro.parallel.commit import insert_cone_templates, seed_survivor_table
 from repro.parallel.frontier import gather_unique
 from repro.parallel.machine import ParallelMachine
-from repro.verify import mutations, sanitizer
+from repro.verify import sanitizer
 
 #: The paper's maximum refactoring cut size (shared with ``rf``).
 DEFAULT_CUT_SIZE = 12
@@ -158,16 +158,40 @@ def par_refactor_cb(
     machine.launch_batch(
         "rfc.filter", backend.const_profile(1, max(len(cones), 1))
     )
+    # Kept candidates become declarative plans: deletable set = write
+    # footprint, leaves = read footprint; the engine's resolver applies
+    # the conflict-breaking rules and the wave lands through the shared
+    # batched commit path.
+    engine = CommitEngine(
+        working, machine, "rfc", insert_mutation="rfc-stale-fanin"
+    )
+    plans = [
+        RewritePlan(
+            job.cut.root,
+            sorted(job.cut.leaves),
+            job.template,
+            Footprint(job.deleted, job.cut.leaves),
+            gain=job.gain,
+            tag=job,
+        )
+        for job in kept
+    ]
     with observe.span("rfc.resolve", "stage"):
-        wave, serial = _resolve_conflicts(
-            kept, machine, candidate_permutation_seed
+        wave, serial = engine.resolve(
+            plans,
+            permutation_seed=candidate_permutation_seed,
+            drop_mutation="rfc-drop-conflict",
         )
     observe.count("rfc.conflicts_broken", len(serial))
     observe.count("rfc.wave_commits", len(wave))
     with observe.span("rfc.replace", "stage"):
-        alias, deleted_all = _commit_wave(working, wave, machine)
+        alias = engine.commit_wave(wave)
         final_alias, serial_committed = _commit_serial(
-            working, serial + retry, alias, deleted_all, machine,
+            working,
+            [plan.tag for plan in serial] + retry,
+            alias,
+            engine.deleted_all,
+            machine,
             max_cut_size,
         )
     observe.count("rfc.serial_commits", serial_committed)
@@ -314,7 +338,7 @@ def _deletable_sets(
 
     Overlapping cones cannot delete their whole member set — a member
     with readers outside the deletable set must survive.  The scalar
-    path runs :func:`~repro.algorithms.seq_refactor.deref_cone` per
+    path runs :func:`~repro.commit.deref_cone` per
     cone on the shared fanout counts (restored exactly afterwards);
     the column path computes every set in one batched fixpoint.  Both
     charge identical per-cone work, so the modeled time is
@@ -445,115 +469,14 @@ def _resynthesize(
 
 
 # ----------------------------------------------------------------------
-# Stage 3: deterministic commit-time conflict resolution
+# Stage 3+4: wave commit via repro.commit + broken conflicts (serial)
 # ----------------------------------------------------------------------
-
-
-def _resolve_conflicts(
-    kept: list[ConeJob],
-    machine: ParallelMachine,
-    permutation_seed: int | None,
-) -> tuple[list[ConeJob], list[ConeJob]]:
-    """Split candidates into a parallel wave and a serial remainder.
-
-    Candidates are ranked by (gain desc, root var asc) — roots are
-    unique, so the order is total and the split is independent of the
-    input order.  A candidate joins the wave unless it conflicts with
-    an admitted commit: write-write (deletable sets overlap) or
-    write-read in either direction (it deletes what the wave reads, or
-    reads what the wave deletes).  Rejected candidates are the broken
-    conflicts; they commit serially afterwards.
-    """
-    ordered = list(kept)
-    if permutation_seed is not None:
-        random.Random(permutation_seed).shuffle(ordered)
-    ordered.sort(key=lambda job: (-job.gain, job.cut.root))
-    wave: list[ConeJob] = []
-    serial: list[ConeJob] = []
-    wave_deleted: set[int] = set()
-    wave_read: set[int] = set()
-    drop_edges = mutations.armed and mutations.active("rfc-drop-conflict")
-    for job in ordered:
-        deleted = job.deleted
-        leaves = job.cut.leaves
-        conflict = not (
-            wave_deleted.isdisjoint(deleted)
-            and wave_read.isdisjoint(deleted)
-            and wave_deleted.isdisjoint(leaves)
-        )
-        if drop_edges:
-            conflict = False  # seeded bug: conflict edges ignored
-        if conflict:
-            serial.append(job)
-        else:
-            wave.append(job)
-            wave_deleted |= deleted
-            wave_read |= leaves
-    # One thread per candidate checks its footprints against the wave
-    # prefix (stream compaction over the ranked order).
-    machine.launch_batch(
-        "rfc.resolve", backend.const_profile(1, max(len(ordered), 1))
-    )
-    return wave, serial
-
-
-# ----------------------------------------------------------------------
-# Stage 4: wave commit (parallel) + broken conflicts (serial)
-# ----------------------------------------------------------------------
-
-
-def _commit_wave(
-    aig: Aig, wave: list[ConeJob], machine: ParallelMachine
-) -> tuple[dict[int, int], set[int]]:
-    """Land the non-conflicting commits in parallel.
-
-    Returns ``(alias, deleted_all)``.  Each lane declares its deletable
-    set as a write footprint and its leaves as a read footprint — the
-    resolver guarantees the combination is race-free, and the sanitizer
-    checks exactly that claim.
-    """
-    guard = sanitizer.batch("rfc.replace")
-    delete_works = []
-    deleted_all: set[int] = set()
-    for job in wave:
-        if sanitizer.enabled:
-            guard.write(job.cut.root, job.deleted)
-            guard.read(job.cut.root, job.cut.leaves)
-        deleted_all |= job.deleted
-        delete_works.append(len(job.deleted))
-    machine.launch("rfc.delete_old", delete_works or [0])
-    for member in deleted_all:
-        aig.mark_dead(member)
-
-    table = seed_survivor_table(aig, machine, "rfc.seed_table")
-
-    states = []
-    for job in wave:
-        template = job.template
-        leaf_lits = [make_lit(var) for var in sorted(job.cut.leaves)]
-        lit_map: dict[int, int] = {0: 0}
-        for t_var, lit in zip(template.pis, leaf_lits):
-            lit_map[t_var] = lit
-        states.append((template, lit_map, list(template.and_vars())))
-    rounds = insert_cone_templates(
-        aig,
-        table,
-        states,
-        machine,
-        "rfc.insertion_round",
-        mutation_site="rfc-stale-fanin",
-    )
-    observe.count("rfc.insertion_rounds", rounds)
-
-    alias: dict[int, int] = {}
-    for job, (template, lit_map, _) in zip(wave, states):
-        po_lit = template.pos[0]
-        new_root = lit_not_cond(lit_map[lit_var(po_lit)], lit_compl(po_lit))
-        job.new_root = new_root
-        if (new_root >> 1) != job.cut.root:
-            alias[job.cut.root] = new_root
-    machine.launch("rfc.redirect_roots", [1] * max(len(wave), 1))
-    return alias, deleted_all
+#
+# Conflict resolution and the parallel wave commit live in
+# :class:`repro.commit.CommitEngine` (the resolver's total order and
+# footprint rules originated here and are unit-tested in
+# ``tests/test_commit_engine.py``); only the serial replay lane below
+# remains pass-specific.
 
 
 def _commit_serial(
@@ -583,9 +506,7 @@ def _commit_serial(
     # drops those nodes anyway.  ``resolved_levels`` doubles as the
     # reachability map and the cap seed (actual current levels).
     caps, _ = resolved_levels(aig, view.alias, view.resolve)
-    for var in range(aig.num_vars):
-        if view.is_and(var) and var not in caps:
-            view.kill(var)
+    retire_unreachable(view, caps, aig.num_vars)
     machine.host("rfc.serial_prep", aig.num_vars)
     nref = resolved_fanout_counts(view)
     nref.extend([0] * 16)  # slack; grown as nodes are added

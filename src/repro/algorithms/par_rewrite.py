@@ -37,12 +37,17 @@ from repro.algorithms.common import (
 )
 from repro.algorithms.dedup import dedup_and_dangling
 from repro.algorithms.rewrite_lib import instantiate_template, match_function
-from repro.algorithms.seq_refactor import deref_cone, ref_cone_back
 from repro.algorithms.seq_rewrite import (
     CUT_EVAL_WORK,
     MAX_CUTS_PER_NODE,
     REWRITE_CUT_SIZE,
     _cone_nodes,
+)
+from repro.commit import (
+    Footprint,
+    apply_replacement,
+    deref_cone,
+    ref_cone_back,
 )
 from repro.engine.context import clone_with_context, context_for
 from repro.engine.registry import (
@@ -53,7 +58,7 @@ from repro.engine.registry import (
 from repro.logic.truth import simulate_cone
 from repro.parallel import backend
 from repro.parallel.machine import ParallelMachine
-from repro.verify import mutations, sanitizer
+from repro.verify import sanitizer
 
 
 @register_pass(
@@ -422,35 +427,24 @@ def _replace_stage(
         # Re-match when resolution changed the cut's function.
         transform, template = match_function(table, resolved_leaves)
         deleted = deref_cone(view, root, cone, nref)
-        for var in deleted:
-            view.kill(var)
-        snapshot = aig.num_vars
         leaf_lits = [make_lit(var) for var in resolved_leaves]
-        new_root = instantiate_template(
-            template, transform, leaf_lits, aig.add_and
+        gain, created = apply_replacement(
+            view,
+            nref,
+            root,
+            deleted,
+            lambda add_and: instantiate_template(
+                template, transform, leaf_lits, add_and
+            ),
+            min_gain,
+            flip_mutation="rw-flip-root",
         )
-        created = aig.num_vars - snapshot
-        gain = len(deleted) - created
         host_work += len(deleted) + 4
-        if gain < min_gain or (new_root >> 1) == root:
-            aig.truncate(snapshot)
-            for var in deleted:
-                view.revive(var)
-            ref_cone_back(view, deleted, nref)
+        if gain is None:
             continue
         insert_works.append(created + 1)
-        while len(nref) < aig.num_vars:
-            nref.append(0)
-        for var in range(snapshot, aig.num_vars):
-            f0, f1 = aig.fanins(var)
-            nref[lit_var(f0)] += 1
-            nref[lit_var(f1)] += 1
-        nref[new_root >> 1] += nref[root]
-        nref[root] = 0
         if sanitizer.enabled:
-            guard.write(root, deleted)
-        if mutations.armed and mutations.active("rw-flip-root"):
-            new_root ^= 1
-        view.set_alias(root, new_root)
+            # Committed MFFC = this lane's write footprint.
+            Footprint(deleted).register(guard, root)
 
     return view.alias, insert_works, host_work

@@ -24,6 +24,8 @@ the OR case by De Morgan) equals it.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.aig.aig import Aig
 from repro.aig.cuts import CutResult, reconv_cut
 from repro.aig.literals import lit_compl, lit_var, make_lit
@@ -35,7 +37,7 @@ from repro.algorithms.common import (
 )
 from repro.algorithms.dedup import dedup_and_dangling
 from repro.algorithms.par_refactor import collapse_into_ffcs
-from repro.algorithms.seq_refactor import deref_cone
+from repro.commit import commit_replacement, deref_cone, ref_cone_back
 from repro.engine.context import clone_with_context, context_for
 from repro.engine.registry import (
     PassInvocation,
@@ -314,11 +316,10 @@ def _commit_resub(
     replacement expression reads are transitively *re-referenced* (they
     and their support survive), and only the genuinely unreferenced
     remainder is deleted.  Gain is exact: deleted nodes minus the at
-    most one fresh AND.
+    most one fresh AND — checked *before* anything mutates, so the
+    landing goes through the unconditional
+    :func:`repro.commit.commit_replacement` (no rollback path needed).
     """
-    from repro.algorithms.seq_refactor import ref_cone_back
-
-    aig = view.aig
     needed = {lit_var(view.resolve(match.lit_a))}
     if match.kind == "one":
         needed.add(lit_var(view.resolve(match.lit_b)))
@@ -346,24 +347,15 @@ def _commit_resub(
         ref_cone_back(view, removed, nref)
         return False
 
-    for var in removed:
-        view.kill(var)
-    snapshot = aig.num_vars
-    if match.kind == "zero":
-        new_root = view.resolve(match.lit_a)
-    else:
+    def build(add_and: Callable[[int, int], int]) -> int:
+        if match.kind == "zero":
+            return view.resolve(match.lit_a)
         lit_a = view.resolve(match.lit_a)
         lit_b = view.resolve(match.lit_b)
-        new_root = aig.add_and(lit_a, lit_b)
+        new_root = add_and(lit_a, lit_b)
         if match.out_neg:
             new_root ^= 1
-    while len(nref) < aig.num_vars:
-        nref.append(0)
-    for var in range(snapshot, aig.num_vars):
-        f0, f1 = aig.fanins(var)
-        nref[lit_var(f0)] += 1
-        nref[lit_var(f1)] += 1
-    nref[new_root >> 1] += nref[root]
-    nref[root] = 0
-    view.set_alias(root, new_root)
+        return new_root
+
+    commit_replacement(view, nref, root, removed, build)
     return True

@@ -20,13 +20,14 @@ from __future__ import annotations
 
 from repro.aig.aig import Aig
 from repro.aig.cuts import reconv_cut
-from repro.aig.literals import lit_var, make_lit
+from repro.aig.literals import make_lit
 from repro.algorithms.common import (
     AliasView,
     PassResult,
     RefCounts,
     resolved_fanout_counts,
 )
+from repro.commit import apply_replacement, deref_cone
 from repro.engine.context import clone_with_context, context_for
 from repro.engine.registry import (
     PassInvocation,
@@ -131,7 +132,6 @@ def _try_replace(
     deepens the graph.  ``None`` (the default, used by ``rf``/``rfz``)
     skips the check entirely.
     """
-    aig = view.aig
     cut = reconv_cut(view, root, max_cut_size)
     work = cut.work
     if len(cut.cone) < 2:
@@ -148,81 +148,15 @@ def _try_replace(
     # commit.  The deref stops at the cut leaves (which the new cone
     # re-references), so deletion never escapes the resynthesized cone.
     deleted = deref_cone(view, root, cut.cone, nref)
-    for var in deleted:
-        view.kill(var)
-
-    snapshot = aig.num_vars
     leaf_lits = [make_lit(var) for var in leaves]
-    new_root = build_plan(plan, leaf_lits, aig.add_and)
-    created = aig.num_vars - snapshot
+    gain, created = apply_replacement(
+        view,
+        nref,
+        root,
+        deleted,
+        lambda add_and: build_plan(plan, leaf_lits, add_and),
+        min_gain,
+        level_cap=level_cap,
+    )
     work += created + len(deleted)
-    gain = len(deleted) - created
-
-    too_deep = False
-    if level_cap is not None:
-        # Created ids are contiguous and topological, so one ascending
-        # sweep fills their caps; a rejected attempt's stale entries
-        # are overwritten when the ids are reused.
-        for var in range(snapshot, aig.num_vars):
-            f0, f1 = aig.fanins(var)
-            level_cap[var] = 1 + max(
-                level_cap[lit_var(f0)], level_cap[lit_var(f1)]
-            )
-        too_deep = level_cap[new_root >> 1] > level_cap[root]
-
-    if gain < min_gain or (new_root >> 1) == root or too_deep:
-        # Reject: retire the speculative nodes, revive the dereferenced
-        # cone and restore its reference counts.
-        aig.truncate(snapshot)
-        for var in deleted:
-            view.revive(var)
-        ref_cone_back(view, deleted, nref)
-        return None, work
-
-    # Commit: account references of the new nodes, transfer the root's.
-    while len(nref) < aig.num_vars:
-        nref.append(0)
-    for var in range(snapshot, aig.num_vars):
-        f0, f1 = aig.fanins(var)
-        nref[lit_var(f0)] += 1
-        nref[lit_var(f1)] += 1
-    new_root_var = new_root >> 1
-    nref[new_root_var] += nref[root]
-    nref[root] = 0
-    view.set_alias(root, new_root)
     return gain, work
-
-
-def deref_cone(
-    view: AliasView, root: int, cone: set[int], nref: RefCounts
-) -> set[int]:
-    """Dereference the MFFC of ``root`` restricted to ``cone``.
-
-    Walks down from the root decrementing fanin reference counts,
-    recursing only into cone members whose count reaches zero — the
-    nodes that become unreferenced once the root's function is
-    re-implemented over the cone's cut.  Returns the dereferenced set
-    (the root included).  Shared by refactoring and rewriting.
-    """
-    deleted: set[int] = set()
-    stack = [root]
-    while stack:
-        var = stack.pop()
-        if var in deleted:
-            continue
-        deleted.add(var)
-        for fanin in view.fanins(var):
-            fvar = lit_var(fanin)
-            nref[fvar] -= 1
-            if nref[fvar] == 0 and fvar in cone:
-                stack.append(fvar)
-    return deleted
-
-
-def ref_cone_back(
-    view: AliasView, deleted: set[int], nref: RefCounts
-) -> None:
-    """Undo :func:`deref_cone` for the exact node set it collected."""
-    for var in deleted:
-        for fanin in view.fanins(var):
-            nref[lit_var(fanin)] += 1

@@ -24,7 +24,7 @@ from repro.algorithms.common import (
     resolved_fanout_counts,
 )
 from repro.algorithms.rewrite_lib import instantiate_template, match_function
-from repro.algorithms.seq_refactor import deref_cone, ref_cone_back
+from repro.commit import apply_replacement, deref_cone, ref_cone_back
 from repro.engine.context import clone_with_context, context_for
 from repro.engine.registry import (
     PassInvocation,
@@ -136,36 +136,20 @@ def _rewrite_node(
         return False, work
     est_gain, leaves, transform, template, cone = best
 
-    aig = view.aig
     deleted = deref_cone(view, root, cone, nref)
-    for var in deleted:
-        view.kill(var)
-    snapshot = aig.num_vars
     leaf_lits = [make_lit(var) for var in leaves]
-    new_root = instantiate_template(
-        template, transform, leaf_lits, aig.add_and
+    gain, created = apply_replacement(
+        view,
+        nref,
+        root,
+        deleted,
+        lambda add_and: instantiate_template(
+            template, transform, leaf_lits, add_and
+        ),
+        min_gain,
     )
-    created = aig.num_vars - snapshot
-    gain = len(deleted) - created
     work += len(deleted) + created
-
-    if gain < min_gain or (new_root >> 1) == root:
-        aig.truncate(snapshot)
-        for var in deleted:
-            view.revive(var)
-        ref_cone_back(view, deleted, nref)
-        return False, work
-
-    while len(nref) < aig.num_vars:
-        nref.append(0)
-    for var in range(snapshot, aig.num_vars):
-        f0, f1 = aig.fanins(var)
-        nref[lit_var(f0)] += 1
-        nref[lit_var(f1)] += 1
-    nref[new_root >> 1] += nref[root]
-    nref[root] = 0
-    view.set_alias(root, new_root)
-    return True, work
+    return gain is not None, work
 
 
 def _evaluate_cut(

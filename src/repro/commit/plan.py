@@ -1,0 +1,111 @@
+"""Declarative rewrite plans: what a pass wants to commit.
+
+A pass that wants to change the graph no longer mutates it directly;
+it describes the change as a :class:`RewritePlan` — the old root, the
+leaf variables the replacement reads, the template AIG implementing
+the new function over those leaves, the node set that dies with the
+commit, and the gain/ordering metadata the resolver needs — and hands
+the plan to :class:`repro.commit.engine.CommitEngine`.  The engine is
+the only code that touches the live graph.
+
+:class:`Footprint` is the typed write/read declaration shared with the
+race sanitizer (:mod:`repro.verify.sanitizer`): the engine registers
+each plan's footprint on the batch guard, so the sanitizer checks
+exactly what the plan claims instead of whatever ad-hoc sets a pass
+happened to pass along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection, Iterator
+
+from repro.aig.aig import Aig
+from repro.verify.sanitizer import BatchGuard
+
+__all__ = ["Footprint", "RewritePlan"]
+
+
+@dataclass(slots=True)
+class Footprint:
+    """Node sets one commit lane writes and reads.
+
+    ``writes`` holds the nodes the commit deletes, redirects or
+    re-levels; ``reads`` the nodes whose current fanins the result
+    depends on.  ``reads`` is ``None`` (not merely empty) when the
+    pass's protocol synchronizes leaf reads by construction — the
+    disjoint-FFC pass registers no reads, matching the footprint model
+    of ``docs/VERIFICATION.md``.
+    """
+
+    writes: Collection[int]
+    reads: Collection[int] | None = None
+
+    def register(self, guard: BatchGuard, lane: int) -> None:
+        """Declare this footprint on a sanitizer batch guard."""
+        guard.write(lane, self.writes)
+        if self.reads is not None:
+            guard.read(lane, self.reads)
+
+    def __iter__(self) -> Iterator[Collection[int]]:
+        yield self.writes
+        yield self.reads if self.reads is not None else ()
+
+
+class RewritePlan:
+    """One declarative cone replacement awaiting commit.
+
+    Attributes
+    ----------
+    root:
+        The old root variable being replaced.
+    leaves:
+        Sorted leaf variables; the template's PIs bind to them in
+        order, so the pair fully specifies the new-node fanin wiring.
+    template:
+        The replacement structure over symbolic leaves (PIs), with one
+        PO pointing at the new root literal.
+    footprint:
+        Write/read declaration: ``writes`` is the deleted set (the
+        nodes retired when the plan lands), ``reads`` the leaf reads —
+        or ``None`` when the protocol synchronizes them.
+    gain:
+        Estimated nodes saved; the resolver's primary sort key.
+    new_root:
+        Filled by the engine at commit: the literal the old root was
+        redirected to.
+    tag:
+        Opaque caller payload (e.g. the pass's own cone job), carried
+        through resolution untouched.
+    """
+
+    __slots__ = ("root", "leaves", "template", "footprint", "gain",
+                 "new_root", "tag")
+
+    def __init__(
+        self,
+        root: int,
+        leaves: list[int],
+        template: Aig,
+        footprint: Footprint,
+        gain: int | None = None,
+        tag: object = None,
+    ) -> None:
+        self.root = root
+        self.leaves = leaves
+        self.template = template
+        self.footprint = footprint
+        self.gain = gain
+        self.new_root: int | None = None
+        self.tag = tag
+
+    @property
+    def deleted(self) -> Collection[int]:
+        """The nodes this plan retires (its write footprint)."""
+        return self.footprint.writes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RewritePlan(root={self.root}, leaves={len(self.leaves)}, "
+            f"deleted={len(self.footprint.writes)}, gain={self.gain})"
+        )

@@ -110,11 +110,20 @@ def run_scale_point(
     pass_walls: dict[str, float] = {}
     for command, wall in result.walls:
         pass_walls[command] = pass_walls.get(command, 0.0) + wall
+    counters = metrics.snapshot()["counters"] if metrics else {}
+    # Commit-layer throughput: every node the transactional layer
+    # landed (bulk column chunks + scalar replays) per wall second.
+    committed = counters.get("commit.bulk_nodes", 0) + counters.get(
+        "commit.serial_replays", 0
+    )
     point.update(
         {
             "run_wall_s": run_wall,
             "run_ands_per_sec": (
                 aig.num_ands / run_wall if run_wall > 0 else 0.0
+            ),
+            "commit_ands_per_sec": (
+                committed / run_wall if run_wall > 0 else 0.0
             ),
             "pass_wall_s": pass_walls,
             "pass_wall_shares": {
@@ -232,6 +241,10 @@ def scale_main(
         f"wall ({point['run_ands_per_sec']:,.0f} ANDs/s), "
         f"{point['modeled_time_s']:.6f}s modeled "
         f"(peak RSS {point['peak_rss_mb']:.0f} MiB)"
+    )
+    print(
+        "  commit throughput: "
+        f"{point['commit_ands_per_sec']:,.0f} committed ANDs/s"
     )
     shares = point["pass_wall_shares"]
     if shares:

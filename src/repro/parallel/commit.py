@@ -1,127 +1,13 @@
-"""Batched cone-replacement commit path (Figure 1d–1e).
+"""Compatibility shim: the commit path moved to :mod:`repro.commit`.
 
-The replacement stage of the refactoring family inserts many new cones
-into the live graph through one shared parallel hash table: the table
-is seeded with every surviving AND node, then every cone contributes
-*one* template node per synchronized insertion round, so intra-round
-creations can share structure with survivors and with each other while
-staying deterministic (rounds are a barrier; within a round the batched
-table operation resolves duplicates by key order).
-
-:func:`seed_survivor_table` and :func:`insert_cone_templates` are the
-reusable pieces of that protocol, used by the conflict-breaking
-refactoring pass behind the ``rfc`` command.  ``rf`` predates this
-module and keeps its inline copy — its machine trace is pinned by the
-engine-parity goldens.
+The batched cone-replacement protocol (survivor-table seeding plus
+one-node-per-cone-per-round template insertion, Figure 1d–1e) grew
+into the full transactional commit layer — declarative
+:class:`~repro.commit.plan.RewritePlan`\\ s applied by
+:class:`~repro.commit.engine.CommitEngine`.  This module re-exports
+the two original entry points for older imports.
 """
 
-from __future__ import annotations
-
-from repro.aig.aig import Aig
-from repro.aig.literals import lit_compl, lit_not_cond, lit_var
-from repro.parallel import backend
-from repro.parallel.hashtable import NodeHashTable
-from repro.parallel.machine import ParallelMachine
-from repro.verify import mutations
+from repro.commit.engine import insert_cone_templates, seed_survivor_table
 
 __all__ = ["insert_cone_templates", "seed_survivor_table"]
-
-
-def seed_survivor_table(
-    aig: Aig, machine: ParallelMachine, launch_name: str
-) -> NodeHashTable:
-    """Hash table seeded with every live AND node of ``aig``.
-
-    Dead (replaced) nodes must already be marked; the sweep visits the
-    survivors in ascending id order on both backends, so the table
-    layout — and therefore every downstream probe count — is
-    bit-identical across them.
-    """
-    table = NodeHashTable(expected=max(aig.num_ands * 2, 64))
-    if backend.use_numpy():
-        survivors = aig.live_and_array()
-        fan0, fan1, _ = aig.arrays()
-        seed_works = table.seed_batch(
-            fan0[survivors], fan1[survivors], survivors
-        )
-    else:
-        survivors = list(aig.and_vars())
-        fanin_pairs = [aig.fanins(var) for var in survivors]
-        seed_works = table.seed_batch(
-            [pair[0] for pair in fanin_pairs],
-            [pair[1] for pair in fanin_pairs],
-            survivors,
-        )
-    machine.launch(launch_name, seed_works or [0])
-    return table
-
-
-def insert_cone_templates(
-    aig: Aig,
-    table: NodeHashTable,
-    states: list[tuple[Aig, dict[int, int], list[int]]],
-    machine: ParallelMachine,
-    launch_name: str,
-    mutation_site: str | None = None,
-) -> int:
-    """Insert every cone's template, one node per cone per round.
-
-    ``states`` holds ``(template, lit_map, order)`` per cone: the
-    template AIG over symbolic leaves, the template-var -> graph-literal
-    map pre-seeded with the leaf bindings, and the template's AND
-    variables in topological (id) order.  Each round batches one node
-    from every still-active cone through
-    :meth:`~repro.parallel.hashtable.NodeHashTable.get_or_create_batch`;
-    fanin literals only reference earlier rounds, so the whole round is
-    one synchronized table operation.  ``lit_map`` entries are filled in
-    place; returns the number of insertion rounds.
-
-    ``mutation_site`` names an optional seeded-bug hook: when that
-    mutation is armed, the first inserted node's first fanin literal is
-    complemented — a commit writing a stale fanin, which the CEC gate
-    must refute (see :mod:`repro.verify.mutations`).
-    """
-
-    def alloc(key0: int, key1: int) -> int:
-        return aig.add_raw_and(key0, key1) >> 1
-
-    # Whole miss chunks allocate through the batch constructor when the
-    # columns support it — same ids in the same order, wall-clock only.
-    alloc_batch = None
-    if backend.use_numpy() and aig._f0c.numpy:
-
-        def alloc_batch(key0, key1):
-            return aig.add_raw_and_batch(key0, key1) >> 1
-
-    corrupt = (
-        mutation_site is not None
-        and mutations.armed
-        and mutations.active(mutation_site)
-    )
-    round_index = 0
-    while True:
-        pairs = []
-        active = []
-        for template, lit_map, order in states:
-            if round_index >= len(order):
-                continue
-            t_var = order[round_index]
-            f0, f1 = template.fanins(t_var)
-            n0 = lit_not_cond(lit_map[lit_var(f0)], lit_compl(f0))
-            n1 = lit_not_cond(lit_map[lit_var(f1)], lit_compl(f1))
-            if corrupt and round_index == 0 and not pairs:
-                n0 ^= 1  # stale fanin: wrong polarity read of the leaf
-            pairs.append((n0, n1))
-            active.append((lit_map, t_var))
-        if not pairs:
-            break
-        literals, probes_list = table.get_or_create_batch(
-            pairs, alloc, alloc_batch
-        )
-        for (lit_map, t_var), literal in zip(active, literals):
-            lit_map[t_var] = literal
-        machine.launch(
-            launch_name, [probes + 1 for probes in probes_list]
-        )
-        round_index += 1
-    return round_index

@@ -66,6 +66,17 @@ MUTATIONS: dict[str, tuple[str, str]] = {
         "invariant",
         "dangling removal retires a node that still has live fanout",
     ),
+    "commit-cross-write": (
+        "sanitizer",
+        "commit engine registers the first plan's write footprint "
+        "under the second plan's sanitizer lane, so two lanes claim "
+        "the same deleted nodes",
+    ),
+    "commit-replay-flip-root": (
+        "cec",
+        "scalar replay commit aliases the old root to the "
+        "complemented new root literal",
+    ),
 }
 
 #: Fast flag: pass code checks this before the string compare.

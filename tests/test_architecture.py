@@ -12,9 +12,19 @@ imports of the pass modules (``repro.algorithms.par_*`` / ``seq_*`` /
 
 Everything else — the CLI, experiments, benchmarks, verification,
 scripts — must resolve passes by name via ``repro.engine.pass_fn`` or
-run scripts through ``repro.engine.run_script``.  This file is pure
-text scanning (no ``repro`` import), so the CI lint job runs it
-without installing the package: ``python tests/test_architecture.py``.
+run scripts through ``repro.engine.run_script``.
+
+A second rule guards the transactional commit layer
+(:mod:`repro.commit`): pass modules describe graph changes as plans
+and let the engine / replay helpers mutate — they must not call the
+mutation primitives (``kill`` / ``revive`` / ``set_alias`` /
+``mark_dead`` / ``truncate`` / raw strash allocation) themselves.
+Documented exceptions are the modules that *are* the primitives or the
+sequential references (see :data:`MUTATION_ALLOWED`).
+
+This file is pure text scanning (no ``repro`` import), so the CI lint
+job runs it without installing the package:
+``python tests/test_architecture.py``.
 """
 
 from __future__ import annotations
@@ -39,6 +49,26 @@ ALLOWED = (
     "tests/",
 )
 
+#: Graph-mutation primitives pass modules must route through
+#: ``repro.commit`` (receiver-qualified, so plain locals named e.g.
+#: ``add_and`` handed out *by* the commit layer still match nothing).
+FORBIDDEN_MUTATION = re.compile(
+    r"\.(kill|revive|set_alias|mark_dead|truncate"
+    r"|add_and|add_raw_and|add_raw_and_batch|add_and_batch)\("
+)
+
+#: Pass-module files that may keep direct mutation calls:
+#: ``common.py`` hosts :class:`AliasView` (the primitive itself),
+#: ``dedup.py`` is structural maintenance rather than a rewrite pass,
+#: and the sequential balance references predate (and validate) the
+#: commit layer.
+MUTATION_ALLOWED = (
+    "src/repro/algorithms/common.py",
+    "src/repro/algorithms/dedup.py",
+    "src/repro/algorithms/seq_balance.py",
+    "src/repro/algorithms/sop_balance.py",
+)
+
 
 def find_violations() -> list[str]:
     """All (file:line: text) conformance violations in the repo."""
@@ -55,6 +85,22 @@ def find_violations() -> list[str]:
     return violations
 
 
+def find_mutation_violations() -> list[str]:
+    """Direct mutation calls in pass modules outside the allowlist."""
+    violations: list[str] = []
+    algorithms = REPO_ROOT / "src" / "repro" / "algorithms"
+    for path in sorted(algorithms.glob("*.py")):
+        relative = path.relative_to(REPO_ROOT).as_posix()
+        if relative in MUTATION_ALLOWED:
+            continue
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if FORBIDDEN_MUTATION.search(line):
+                violations.append(f"{relative}:{number}: {line.strip()}")
+    return violations
+
+
 def test_no_direct_pass_imports_outside_engine() -> None:
     violations = find_violations()
     assert not violations, (
@@ -64,9 +110,20 @@ def test_no_direct_pass_imports_outside_engine() -> None:
     )
 
 
+def test_pass_mutations_route_through_commit_layer() -> None:
+    violations = find_mutation_violations()
+    assert not violations, (
+        "direct graph-mutation calls in pass modules (route them "
+        "through repro.commit plans / replay helpers):\n"
+        + "\n".join(violations)
+    )
+
+
 def main() -> int:
+    failed = False
     violations = find_violations()
     if violations:
+        failed = True
         print("architecture conformance FAILED:", file=sys.stderr)
         for violation in violations:
             print(f"  {violation}", file=sys.stderr)
@@ -74,6 +131,17 @@ def main() -> int:
             "resolve passes via repro.engine (pass_fn / run_script)",
             file=sys.stderr,
         )
+    mutation_violations = find_mutation_violations()
+    if mutation_violations:
+        failed = True
+        print("commit-layer conformance FAILED:", file=sys.stderr)
+        for violation in mutation_violations:
+            print(f"  {violation}", file=sys.stderr)
+        print(
+            "route graph mutation through repro.commit",
+            file=sys.stderr,
+        )
+    if failed:
         return 1
     print("architecture conformance OK")
     return 0

@@ -55,10 +55,13 @@ def _run(aig, script: str, cutoff: int):
     finally:
         kernels.KERNEL_CUTOFF = original
         _, registry = observe.disable()
+    # ``kernels.*`` and the commit layer's bulk/serial throughput split
+    # are wall-clock bookkeeping; both legitimately differ between the
+    # column-native and scalar pass paths.
     counters = {
         key: value
         for key, value in registry.snapshot()["counters"].items()
-        if not key.startswith("kernels.")
+        if not key.startswith(("kernels.", "commit."))
     }
     records = [
         (type(record).__name__, vars(record))

@@ -42,6 +42,8 @@ PASS_FOR = {
     "dedup-stale-level": par_rewrite,
     "dedup-skip-merge": par_rewrite,
     "dedup-free-live": par_rewrite,
+    "commit-cross-write": par_refactor,
+    "commit-replay-flip-root": par_rewrite,
 }
 
 

@@ -356,6 +356,9 @@ def test_run_scale_point_reports_run_throughput(tmp_path):
     assert point["run_ands_per_sec"] == pytest.approx(
         point["nodes"] / point["run_wall_s"]
     )
+    # The commit layer landed every node the passes created, so the
+    # reported commit throughput must be live on any non-trivial run.
+    assert point["commit_ands_per_sec"] > 0
     # One wall entry per executed command, shares summing to the
     # commands' fraction of the run wall.
     assert set(point["pass_wall_s"]) == {"b", "rw"}
